@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``benchmarks/test_*.py`` regenerates one figure or experiment from
+DESIGN.md's experiment index: it *asserts* the structural/behavioural claims
+of the paper artefact and *measures* the relevant operation with
+pytest-benchmark.  ``report()`` prints the rows each experiment produces, so
+``pytest benchmarks/ --benchmark-only -s`` reads like the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def report(title: str, header: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Print one experiment's result table."""
+    rows = list(rows)
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n== {title}")
+    print(f"   {line}")
+    print(f"   {'-' * len(line)}")
+    for row in rows:
+        print("   " + "  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,166 @@
+"""E11 — §3 dynamic reconfiguration claim.
+
+The paper's own scenario: "assume that it is necessary to add another task t5
+with dependencies from t2 and t4" to the *running* Fig. 1 workflow, with
+transactions making the change atomic with respect to normal processing.
+
+We verify atomicity (an invalid change leaves the running instance
+untouched), then measure reconfiguration cost against workflow size.
+"""
+
+import pytest
+
+from repro.core import (
+    AddTask,
+    Implementation,
+    ReconfigurationError,
+    ReplaceOutputMapping,
+    apply_changes,
+)
+from repro.core.schema import (
+    GuardKind,
+    InputObjectBinding,
+    InputSetBinding,
+    OutputBinding,
+    OutputObjectBinding,
+    Source,
+    TaskDecl,
+)
+from repro.engine import LocalEngine, outcome
+from repro.workloads import chain, diamond
+
+from .conftest import report
+
+
+def t5_and_rewire(script):
+    t5 = TaskDecl(
+        "t5",
+        "Join",
+        Implementation.of(code="join"),
+        (
+            InputSetBinding(
+                "main",
+                (
+                    InputObjectBinding(
+                        "left", (Source("t2", "out", GuardKind.OUTPUT, "done"),)
+                    ),
+                    InputObjectBinding(
+                        "right", (Source("t4", "out", GuardKind.OUTPUT, "done"),)
+                    ),
+                ),
+            ),
+        ),
+    )
+    rewire = ReplaceOutputMapping(
+        "fig1",
+        OutputBinding(
+            "done",
+            (
+                OutputObjectBinding(
+                    "out", (Source("t5", "out", GuardKind.OUTPUT, "done"),)
+                ),
+            ),
+        ),
+    )
+    return apply_changes(script, [AddTask("fig1", t5), rewire])
+
+
+def test_e11_paper_scenario_add_t5(benchmark):
+    def run():
+        script, registry, root, inputs = diamond()
+        wf = LocalEngine(registry).workflow(script)
+        wf.start(inputs)
+        wf.step()  # running
+        wf.reconfigure(t5_and_rewire(wf.tree.script))
+        return wf.run_to_completion()
+
+    result = benchmark(run)
+    assert result.completed
+    assert "fig1/t5" in result.log.started_order()
+
+
+def test_e11_atomicity_invalid_change_has_no_effect(benchmark):
+    script, registry, root, inputs = diamond()
+    wf = LocalEngine(registry).workflow(script)
+    wf.start(inputs)
+    wf.step()
+    import dataclasses
+
+    broken = dataclasses.replace(
+        script.tasks["fig1"].task("t1"), taskclass_name="Join"
+    )
+    bad_tasks = tuple(
+        broken if t.name == "t1" else t for t in script.tasks["fig1"].tasks
+    )
+    from repro.core.schema import Script
+
+    bad_script = Script(
+        classes=dict(script.classes),
+        taskclasses=dict(script.taskclasses),
+        tasks={"fig1": dataclasses.replace(script.tasks["fig1"], tasks=bad_tasks)},
+    )
+    before = wf.tree.script
+    with pytest.raises(ReconfigurationError):
+        wf.reconfigure(bad_script)
+    assert wf.tree.script is before  # nothing changed
+    assert wf.run_to_completion().completed  # and the instance still finishes
+
+    def rejected_change():
+        script2, registry2, root2, inputs2 = diamond()
+        live = LocalEngine(registry2).workflow(script2)
+        live.start(inputs2)
+        try:
+            live.reconfigure(bad_script)
+        except ReconfigurationError:
+            return True
+        return False
+
+    assert benchmark(rejected_change)
+
+
+def test_e11_reconfiguration_cost_vs_size(benchmark):
+    """Schema-rebuild plus tracker-replay cost as the workflow grows."""
+    from repro.core import AddDependency
+
+    rows = []
+    for n in (10, 50, 200):
+        script, registry, root, inputs = chain(n)
+        wf = LocalEngine(registry).workflow(script)
+        wf.start(inputs)
+        for _ in range(3):
+            wf.step()
+        change = AddDependency(
+            f"pipeline/t{n}",
+            "main",
+            None,
+            (Source("t1", None, GuardKind.OUTPUT, "done"),),
+        )
+        import time
+
+        begin = time.perf_counter()
+        wf.reconfigure(change.apply_checked(wf.tree.script))
+        micros = (time.perf_counter() - begin) * 1e6
+        result = wf.run_to_completion()
+        assert result.completed
+        rows.append((n, f"{micros:.0f}us"))
+    report("E11: live reconfiguration cost vs workflow size", ["tasks", "cost"], rows)
+
+    script, registry, root, inputs = chain(50)
+
+    def reconfigure_once():
+        wf = LocalEngine(registry).workflow(script)
+        wf.start(inputs)
+        wf.step()
+        from repro.core import AddDependency
+
+        change = AddDependency(
+            "pipeline/t50",
+            "main",
+            None,
+            (Source("t1", None, GuardKind.OUTPUT, "done"),),
+        )
+        wf.reconfigure(change.apply_checked(wf.tree.script))
+        return wf.run_to_completion()
+
+    result = benchmark(reconfigure_once)
+    assert result.completed

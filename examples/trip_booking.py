@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""§5.3 / Figs. 8-9 — the business trip application.
+
+Demonstrates the language's most advanced features on the paper's own
+scenario:
+
+* parallel airline queries inside a nested compound (CFR), with the
+  first-listed available quote winning;
+* a *mark* output releasing the flight cost before the workflow finishes;
+* *repeat* outcomes: the hotel retries booking, and the whole
+  businessReservation compound loops after a compensated failure;
+* the compensating task flightCancellation undoing the flight when the
+  hotel cannot be booked.
+
+Run:  python examples/trip_booking.py
+"""
+
+from repro.core.selection import EventKind
+from repro.engine import LocalEngine
+from repro.workloads import paper_trip
+
+
+def narrate(result) -> None:
+    print(f"  outcome: {result.outcome}")
+    for name, objects in result.marks:
+        values = {k: v.value for k, v in objects.items()}
+        print(f"  mark '{name}' released early: {values}")
+    if result.value("tickets"):
+        print(f"  tickets: {result.value('tickets')}")
+    repeats = [
+        e for e in result.log.entries if e.event.kind is EventKind.REPEAT
+    ]
+    for entry in repeats:
+        print(f"  repeat: {entry.producer_path} via '{entry.event.name}'")
+    compensations = [
+        e
+        for e in result.log.entries
+        if e.producer_path.endswith("flightCancellation")
+        and e.event.kind is EventKind.OUTCOME
+    ]
+    for entry in compensations:
+        print("  compensation: flightCancellation cancelled the reserved flight")
+    print()
+
+
+def main() -> None:
+    script = paper_trip.build()
+
+    print("case 1: smooth booking (airline two wins; hotel needs 2 retries)")
+    registry = paper_trip.default_registry()
+    narrate(LocalEngine(registry).run(script, inputs={"user": "alice"}))
+
+    print("case 2: hotel fails on round one -> compensate flight -> BR loops")
+    registry = paper_trip.default_registry(
+        hotel_rounds_until_success=2, hotel_attempts_needed=1, hotel_max_tries=3
+    )
+    narrate(LocalEngine(registry).run(script, inputs={"user": "bob"}))
+
+    print("case 3: no airline can satisfy the price cap -> trip fails")
+    registry = paper_trip.default_registry(airline_quotes=(900.0, 700.0, 650.0))
+    narrate(LocalEngine(registry).run(script, inputs={"user": "carol"}))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Related-work baselines (DESIGN.md subsystem S8): a METEOR-style ECA rule
+engine and an extended Petri-net engine, each with a compiler from our schema
+so experiment E12 can compare the approaches on identical workloads.
+"""
+
+from .eca import EcaWorkflow, Rule, RuleEngine, WorkingMemory
+from .petrinet import PetriNet, PetriWorkflow, Transition
+
+__all__ = [
+    "EcaWorkflow",
+    "PetriNet",
+    "PetriWorkflow",
+    "Rule",
+    "RuleEngine",
+    "Transition",
+    "WorkingMemory",
+]

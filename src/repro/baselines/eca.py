@@ -1,0 +1,337 @@
+"""Rule-based (event-condition-action) workflow baseline.
+
+The paper's related-work section contrasts its structural scripts with
+rule-based workflow languages (METEOR [6]): there, a workflow is a set of
+ECA rules over a working memory of events.  This module provides such an
+engine **plus a compiler from our schema into rules**, so experiment E12 can
+compare, on identical workloads:
+
+* specification size (number of rules vs. script declarations),
+* locality of change (how many rules a single dependency edit touches),
+* execution cost.
+
+The translation covers the acyclic fragment of the language (no repeat
+outcomes): representing iteration in flat one-shot rules requires reifying
+rounds in the working memory, which is exactly the awkwardness the paper
+holds against rule-based encodings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..core.errors import ExecutionError
+from ..core.schema import (
+    CompoundTaskDecl,
+    GuardKind,
+    InputSetBinding,
+    OutputKind,
+    Script,
+    Source,
+    TaskDecl,
+)
+from ..core.values import ObjectRef
+from ..engine.context import TaskContext, TaskResult
+from ..engine.registry import ImplementationRegistry, ScriptBinding
+
+# Working-memory fact shapes:
+#   ("output", producer_path, output_name)               -- an output happened
+#   ("input",  task_path, input_set_name)                -- an input set was chosen
+#   ("value",  producer_path, via_name, object_name) -> payload (in `values`)
+
+Fact = Tuple[str, ...]
+
+
+@dataclass
+class WorkingMemory:
+    facts: Set[Fact] = field(default_factory=set)
+    values: Dict[Fact, Any] = field(default_factory=dict)
+
+    def assert_fact(self, fact: Fact, value: Any = None) -> bool:
+        fresh = fact not in self.facts
+        self.facts.add(fact)
+        if value is not None:
+            self.values[fact] = value
+        return fresh
+
+    def holds(self, fact: Fact) -> bool:
+        return fact in self.facts
+
+    def value_of(self, fact: Fact, default: Any = None) -> Any:
+        return self.values.get(fact, default)
+
+
+@dataclass
+class Rule:
+    """One ECA rule: when `condition` yields bindings, run `action` once."""
+
+    name: str
+    condition: Callable[[WorkingMemory], Optional[Dict[str, Any]]]
+    action: Callable[[WorkingMemory, Dict[str, Any]], None]
+
+
+class RuleEngine:
+    """Naive forward-chaining fixpoint engine (fire-once per rule)."""
+
+    def __init__(self, rules: List[Rule]) -> None:
+        self.rules = list(rules)
+        self.memory = WorkingMemory()
+        self.firings = 0
+        self.evaluations = 0
+
+    def run(self, max_cycles: int = 100_000) -> None:
+        fired: Set[str] = set()
+        progress = True
+        cycles = 0
+        while progress:
+            cycles += 1
+            if cycles > max_cycles:
+                raise ExecutionError("rule engine did not reach a fixpoint")
+            progress = False
+            for rule in self.rules:
+                if rule.name in fired:
+                    continue
+                self.evaluations += 1
+                bindings = rule.condition(self.memory)
+                if bindings is None:
+                    continue
+                fired.add(rule.name)
+                self.firings += 1
+                rule.action(self.memory, bindings)
+                progress = True
+
+
+# ---------------------------------------------------------------------------
+# Schema -> rules compiler
+# ---------------------------------------------------------------------------
+
+
+class EcaWorkflow:
+    """A workflow compiled to ECA rules, runnable against a registry."""
+
+    def __init__(self, script: Script, root_task: str, registry: ImplementationRegistry) -> None:
+        self.script = script
+        self.root_task = root_task
+        self.registry = registry
+        self.rules: List[Rule] = []
+        self.tasks_run: List[str] = []
+        self._compile()
+
+    # -- public ------------------------------------------------------------------
+
+    @property
+    def rule_count(self) -> int:
+        return len(self.rules)
+
+    def run(self, inputs: Dict[str, Any], input_set: str = "main") -> Dict[str, Any]:
+        engine = RuleEngine(self.rules)
+        root = self.script.tasks[self.root_task]
+        root_class = self.script.taskclass_of(root)
+        spec = root_class.input_set(input_set)
+        engine.memory.assert_fact(("input", self.root_task, input_set))
+        if spec is not None:
+            for decl in spec.objects:
+                engine.memory.assert_fact(
+                    ("value", self.root_task, input_set, decl.name),
+                    inputs.get(decl.name),
+                )
+        engine.run()
+        outcome_name = None
+        objects: Dict[str, Any] = {}
+        for out in root_class.outputs:
+            if engine.memory.holds(("output", self.root_task, out.name)):
+                outcome_name = out.name
+                for decl in out.objects:
+                    objects[decl.name] = engine.memory.value_of(
+                        ("value", self.root_task, out.name, decl.name)
+                    )
+                break
+        return {
+            "outcome": outcome_name,
+            "objects": objects,
+            "firings": engine.firings,
+            "evaluations": engine.evaluations,
+            "rules": self.rule_count,
+        }
+
+    # -- compilation -----------------------------------------------------------------
+
+    def _compile(self) -> None:
+        root = self.script.tasks[self.root_task]
+        self._compile_decl(root, parent_path=None)
+
+    def _path(self, parent_path: Optional[str], name: str) -> str:
+        return f"{parent_path}/{name}" if parent_path else name
+
+    def _compile_decl(self, decl, parent_path: Optional[str]) -> None:
+        path = self._path(parent_path, decl.name)
+        taskclass = self.script.taskclass_of(decl)
+        for out in taskclass.outputs:
+            if out.kind is OutputKind.REPEAT:
+                raise ExecutionError(
+                    f"{path}: the ECA baseline does not support repeat outcomes "
+                    f"(iteration requires reified rounds in rule memory)"
+                )
+        if isinstance(decl, CompoundTaskDecl):
+            scope = {child.name: self._path(path, child.name) for child in decl.tasks}
+            scope[decl.name] = path
+            for child in decl.tasks:
+                self._compile_decl(child, path)
+            for binding in decl.outputs:
+                self._compile_compound_output(decl, path, binding, scope)
+        else:
+            self._compile_simple_task(decl, path, taskclass, parent_path)
+
+    def _source_fact(self, scope: Dict[str, str], source: Source) -> Callable[[WorkingMemory], Optional[Fact]]:
+        producer = scope[source.task_name]
+
+        def resolve(memory: WorkingMemory) -> Optional[Fact]:
+            if source.guard_kind is GuardKind.OUTPUT:
+                if memory.holds(("output", producer, source.guard_name)):
+                    return ("value", producer, source.guard_name, source.object_name) if source.object_name else ("output", producer, source.guard_name)
+                return None
+            if source.guard_kind is GuardKind.INPUT:
+                if memory.holds(("input", producer, source.guard_name)):
+                    return ("value", producer, source.guard_name, source.object_name) if source.object_name else ("input", producer, source.guard_name)
+                return None
+            # unguarded: any output fact of the producer carrying the object
+            for fact in list(memory.facts):
+                if fact[0] == "output" and fact[1] == producer:
+                    candidate = ("value", producer, fact[2], source.object_name)
+                    if candidate in memory.values:
+                        return candidate
+            return None
+
+        return resolve
+
+    def _condition_for(
+        self, scope: Dict[str, str], binding: InputSetBinding
+    ) -> Callable[[WorkingMemory], Optional[Dict[str, Any]]]:
+        object_resolvers = [
+            (obj.name, [self._source_fact(scope, s) for s in obj.sources])
+            for obj in binding.objects
+        ]
+        notification_resolvers = [
+            [self._source_fact(scope, s) for s in notif.sources]
+            for notif in binding.notifications
+        ]
+
+        def condition(memory: WorkingMemory) -> Optional[Dict[str, Any]]:
+            chosen: Dict[str, Any] = {}
+            for name, resolvers in object_resolvers:
+                for resolve in resolvers:
+                    fact = resolve(memory)
+                    if fact is not None:
+                        chosen[name] = memory.value_of(fact)
+                        break
+                else:
+                    return None
+            for resolvers in notification_resolvers:
+                if not any(resolve(memory) is not None for resolve in resolvers):
+                    return None
+            return chosen
+
+        return condition
+
+    def _compile_simple_task(self, decl: TaskDecl, path: str, taskclass, parent_path) -> None:
+        scope = self._scope_for(parent_path)
+        for binding in decl.input_sets:
+            condition = self._condition_for(scope, binding)
+            spec = taskclass.input_set(binding.name)
+
+            def action(
+                memory: WorkingMemory,
+                chosen: Dict[str, Any],
+                decl=decl,
+                path=path,
+                taskclass=taskclass,
+                set_name=binding.name,
+                spec=spec,
+            ) -> None:
+                if any(f[0] == "input" and f[1] == path for f in memory.facts):
+                    return  # another input set already started this task
+                memory.assert_fact(("input", path, set_name))
+                for name, value in chosen.items():
+                    memory.assert_fact(("value", path, set_name, name), value)
+                self._run_task(memory, decl, path, taskclass, set_name, chosen, spec)
+
+            self.rules.append(Rule(f"start:{path}:{binding.name}", condition, action))
+
+    def _run_task(self, memory, decl, path, taskclass, set_name, chosen, spec) -> None:
+        self.tasks_run.append(path)
+        refs: Dict[str, ObjectRef] = {}
+        for name, value in chosen.items():
+            class_name = ""
+            if spec is not None and spec.object(name) is not None:
+                class_name = spec.object(name).class_name
+            refs[name] = value if isinstance(value, ObjectRef) else ObjectRef(class_name, value)
+
+        def mark_sink(mark_name: str, objects) -> None:
+            memory.assert_fact(("output", path, mark_name))
+            for obj_name, ref in objects.items():
+                memory.assert_fact(("value", path, mark_name, obj_name), ref.value)
+
+        context = TaskContext(
+            task_path=path,
+            taskclass=taskclass,
+            input_set=set_name,
+            inputs=refs,
+            properties=decl.implementation.as_dict(),
+            mark_sink=mark_sink,
+        )
+        binding = self.registry.resolve(decl.implementation.code)
+        if isinstance(binding, ScriptBinding):
+            raise ExecutionError(f"{path}: script bindings unsupported in the ECA baseline")
+        result: TaskResult = binding(context)
+        memory.assert_fact(("output", path, result.name))
+        for obj_name, value in result.objects.items():
+            payload = value.value if isinstance(value, ObjectRef) else value
+            memory.assert_fact(("value", path, result.name, obj_name), payload)
+
+    def _compile_compound_output(self, decl, path, binding, scope) -> None:
+        from ..core.schema import InputObjectBinding
+
+        # Output mappings satisfy exactly like input sets; reuse the machinery.
+        pseudo = InputSetBinding(
+            name=binding.name,
+            objects=tuple(
+                InputObjectBinding(obj.name, obj.sources) for obj in binding.objects
+            ),
+            notifications=binding.notifications,
+        )
+        condition = self._condition_for(scope, pseudo)
+
+        def action(memory: WorkingMemory, chosen: Dict[str, Any], path=path, name=binding.name) -> None:
+            if any(
+                f[0] == "output" and f[1] == path and self._is_terminal(path, f[2])
+                for f in memory.facts
+            ):
+                return  # compound already terminated
+            memory.assert_fact(("output", path, name))
+            for obj_name, value in chosen.items():
+                payload = value.value if isinstance(value, ObjectRef) else value
+                memory.assert_fact(("value", path, name, obj_name), payload)
+
+        self.rules.append(Rule(f"emit:{path}:{binding.name}", condition, action))
+
+    def _is_terminal(self, path: str, output_name: str) -> bool:
+        # find the decl's class by path to know output kinds
+        parts = [p for p in path.split("/") if p]
+        decl = self.script.tasks[parts[0]]
+        for part in parts[1:]:
+            decl = decl.task(part)
+        taskclass = self.script.taskclass_of(decl)
+        spec = taskclass.output(output_name)
+        return spec is not None and spec.kind in (OutputKind.OUTCOME, OutputKind.ABORT)
+
+    def _scope_for(self, parent_path: Optional[str]) -> Dict[str, str]:
+        if parent_path is None:
+            return {self.root_task: self.root_task}
+        parts = [p for p in parent_path.split("/") if p]
+        decl = self.script.tasks[parts[0]]
+        for part in parts[1:]:
+            decl = decl.task(part)
+        scope = {child.name: f"{parent_path}/{child.name}" for child in decl.tasks}
+        scope[decl.name] = parent_path
+        return scope

@@ -1,0 +1,344 @@
+"""Petri-net workflow baseline.
+
+The second comparator from the paper's related work [9]: workflow engines
+built on (extended) Petri nets, where control flow is modelled by tokens.
+We implement a coloured net with OR-input groups (plain place/transition
+nets explode exponentially under the language's *alternative sources*, which
+is itself a data point for E12) and a compiler from our schema.
+
+Net construction:
+
+* one **place** per observable event — ``(producer_path, "output"|"input",
+  name)`` — carrying a token whose colour is the event's object payload;
+* one **transition** per (task instance, input set): its input is a list of
+  OR-groups (one per object binding and per notification binding — any one
+  place of the group supplies the token); firing runs the bound
+  implementation and deposits a token in the produced output's place;
+* one transition per compound output mapping, depositing into the compound's
+  output place.
+
+Repeat outcomes are unsupported (tokens for re-execution would need net
+transformations at run time), as with the ECA baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..core.errors import ExecutionError
+from ..core.schema import (
+    CompoundTaskDecl,
+    GuardKind,
+    InputSetBinding,
+    InputObjectBinding,
+    OutputKind,
+    Script,
+    Source,
+)
+from ..core.values import ObjectRef
+from ..engine.context import TaskContext, TaskResult
+from ..engine.registry import ImplementationRegistry, ScriptBinding
+
+Place = Tuple[str, str, str]  # (producer_path, "output"|"input", name)
+
+
+@dataclass
+class Transition:
+    """OR-group input arcs -> fire `effect` -> output tokens."""
+
+    name: str
+    # each group: (consumer object name or None, [(place, source object name or None)])
+    groups: List[Tuple[Optional[str], List[Tuple[Place, Optional[str]]]]]
+    effect: Callable[["PetriNet", Dict[str, Any]], None]
+    fired: bool = False
+
+    def enabled(self, net: "PetriNet") -> Optional[Dict[str, Any]]:
+        chosen: Dict[str, Any] = {}
+        for consumer_name, arcs in self.groups:
+            for place, source_object in arcs:
+                if net.marked(place):
+                    if consumer_name is not None:
+                        token = net.colour(place)
+                        value = (
+                            token.get(source_object)
+                            if isinstance(token, dict) and source_object
+                            else token
+                        )
+                        chosen[consumer_name] = value
+                    break
+            else:
+                return None
+        return chosen
+
+
+class PetriNet:
+    """Coloured net with monotone marking (places, once marked, stay marked —
+    workflow events are facts, not consumable resources here)."""
+
+    def __init__(self) -> None:
+        self.places: Set[Place] = set()
+        self.transitions: List[Transition] = []
+        self.marking: Dict[Place, Any] = {}
+        self.firings = 0
+
+    def add_place(self, place: Place) -> Place:
+        self.places.add(place)
+        return place
+
+    def add_transition(self, transition: Transition) -> None:
+        for _name, arcs in transition.groups:
+            for place, _obj in arcs:
+                self.add_place(place)
+        self.transitions.append(transition)
+
+    def put(self, place: Place, colour: Any = None) -> None:
+        self.add_place(place)
+        if place not in self.marking:
+            self.marking[place] = colour
+
+    def marked(self, place: Place) -> bool:
+        return place in self.marking
+
+    def colour(self, place: Place) -> Any:
+        return self.marking.get(place)
+
+    def run(self, max_cycles: int = 100_000) -> None:
+        progress = True
+        cycles = 0
+        while progress:
+            cycles += 1
+            if cycles > max_cycles:
+                raise ExecutionError("petri net did not quiesce")
+            progress = False
+            for transition in self.transitions:
+                if transition.fired:
+                    continue
+                chosen = transition.enabled(self)
+                if chosen is None:
+                    continue
+                transition.fired = True
+                self.firings += 1
+                transition.effect(self, chosen)
+                progress = True
+
+
+class PetriWorkflow:
+    """A workflow compiled to a coloured Petri net."""
+
+    def __init__(self, script: Script, root_task: str, registry: ImplementationRegistry) -> None:
+        self.script = script
+        self.root_task = root_task
+        self.registry = registry
+        self.net = PetriNet()
+        self.tasks_run: List[str] = []
+        self._mutex: Dict[str, bool] = {}  # task started / compound terminated
+        self._compile()
+
+    # -- metrics ---------------------------------------------------------------------
+
+    @property
+    def place_count(self) -> int:
+        return len(self.net.places)
+
+    @property
+    def transition_count(self) -> int:
+        return len(self.net.transitions)
+
+    # -- running -----------------------------------------------------------------------
+
+    def run(self, inputs: Dict[str, Any], input_set: str = "main") -> Dict[str, Any]:
+        root_class = self.script.taskclass_of(self.script.tasks[self.root_task])
+        self.net.put((self.root_task, "input", input_set), dict(inputs))
+        self.net.run()
+        outcome_name = None
+        objects: Dict[str, Any] = {}
+        for out in root_class.outputs:
+            place = (self.root_task, "output", out.name)
+            if self.net.marked(place):
+                outcome_name = out.name
+                token = self.net.colour(place)
+                if isinstance(token, dict):
+                    objects = dict(token)
+                break
+        return {
+            "outcome": outcome_name,
+            "objects": objects,
+            "firings": self.net.firings,
+            "places": self.place_count,
+            "transitions": self.transition_count,
+        }
+
+    # -- compilation -----------------------------------------------------------------------
+
+    def _compile(self) -> None:
+        self._compile_decl(self.script.tasks[self.root_task], None)
+
+    def _path(self, parent: Optional[str], name: str) -> str:
+        return f"{parent}/{name}" if parent else name
+
+    def _scope(self, parent_path: Optional[str], decl) -> Dict[str, str]:
+        if isinstance(decl, CompoundTaskDecl):
+            path = self._path(parent_path, decl.name)
+            scope = {child.name: f"{path}/{child.name}" for child in decl.tasks}
+            scope[decl.name] = path
+            return scope
+        raise AssertionError("scope of a simple task requested")
+
+    def _arcs_for(self, scope: Dict[str, str], source: Source) -> List[Tuple[Place, Optional[str]]]:
+        producer = scope[source.task_name]
+        if source.guard_kind is GuardKind.OUTPUT:
+            return [((producer, "output", source.guard_name), source.object_name)]
+        if source.guard_kind is GuardKind.INPUT:
+            return [((producer, "input", source.guard_name), source.object_name)]
+        # unguarded: one arc per outcome/mark of the producer's class that
+        # carries the object
+        decl = self._decl_at(producer)
+        taskclass = self.script.taskclass_of(decl)
+        arcs: List[Tuple[Place, Optional[str]]] = []
+        for out in taskclass.outputs:
+            if out.kind in (OutputKind.OUTCOME, OutputKind.MARK) and out.object(
+                source.object_name
+            ):
+                arcs.append(((producer, "output", out.name), source.object_name))
+        return arcs
+
+    def _decl_at(self, path: str):
+        parts = [p for p in path.split("/") if p]
+        decl = self.script.tasks[parts[0]]
+        for part in parts[1:]:
+            decl = decl.task(part)
+        return decl
+
+    def _groups_for(
+        self, scope: Dict[str, str], binding: InputSetBinding
+    ) -> List[Tuple[Optional[str], List[Tuple[Place, Optional[str]]]]]:
+        groups: List[Tuple[Optional[str], List[Tuple[Place, Optional[str]]]]] = []
+        for obj in binding.objects:
+            arcs: List[Tuple[Place, Optional[str]]] = []
+            for source in obj.sources:
+                arcs.extend(self._arcs_for(scope, source))
+            groups.append((obj.name, arcs))
+        for notif in binding.notifications:
+            arcs = []
+            for source in notif.sources:
+                arcs.extend(self._arcs_for(scope, source))
+            groups.append((None, arcs))
+        return groups
+
+    def _compile_decl(self, decl, parent_path: Optional[str]) -> None:
+        path = self._path(parent_path, decl.name)
+        taskclass = self.script.taskclass_of(decl)
+        if any(o.kind is OutputKind.REPEAT for o in taskclass.outputs):
+            raise ExecutionError(
+                f"{path}: the Petri-net baseline does not support repeat outcomes"
+            )
+        if isinstance(decl, CompoundTaskDecl):
+            scope = self._scope(parent_path, decl) if parent_path else {decl.name: path}
+            # compound's own input transitions are represented by its parent;
+            # here, wire constituents and output mappings in the inner scope
+            inner = {child.name: f"{path}/{child.name}" for child in decl.tasks}
+            inner[decl.name] = path
+            for child in decl.tasks:
+                self._compile_decl(child, path)
+            for binding in decl.outputs:
+                pseudo = InputSetBinding(
+                    name=binding.name,
+                    objects=tuple(
+                        InputObjectBinding(o.name, o.sources) for o in binding.objects
+                    ),
+                    notifications=binding.notifications,
+                )
+                groups = self._groups_for(inner, pseudo)
+                spec = taskclass.output(binding.name)
+
+                def emit(
+                    net: PetriNet,
+                    chosen: Dict[str, Any],
+                    path=path,
+                    name=binding.name,
+                    terminal=spec is not None
+                    and spec.kind in (OutputKind.OUTCOME, OutputKind.ABORT),
+                ) -> None:
+                    if terminal and self._mutex.get(f"done:{path}"):
+                        return
+                    if terminal:
+                        self._mutex[f"done:{path}"] = True
+                    net.put((path, "output", name), chosen)
+
+                self.net.add_transition(
+                    Transition(f"emit:{path}:{binding.name}", groups, emit)
+                )
+            if parent_path is not None:
+                self._compile_inputs(decl, path, parent_path, starts_task=False)
+        else:
+            self._compile_inputs(decl, path, parent_path, starts_task=True)
+
+    def _compile_inputs(self, decl, path, parent_path, starts_task: bool) -> None:
+        taskclass = self.script.taskclass_of(decl)
+        parent_decl = self._decl_at(parent_path) if parent_path else None
+        scope = (
+            self._scope(
+                parent_path.rsplit("/", 1)[0] if "/" in parent_path else None,
+                parent_decl,
+            )
+            if parent_decl is not None
+            else {decl.name: path}
+        )
+        for binding in decl.input_sets:
+            groups = self._groups_for(scope, binding)
+            spec = taskclass.input_set(binding.name)
+
+            def start(
+                net: PetriNet,
+                chosen: Dict[str, Any],
+                decl=decl,
+                path=path,
+                taskclass=taskclass,
+                set_name=binding.name,
+                spec=spec,
+                starts_task=starts_task,
+            ) -> None:
+                if self._mutex.get(f"started:{path}"):
+                    return
+                self._mutex[f"started:{path}"] = True
+                net.put((path, "input", set_name), dict(chosen))
+                if starts_task:
+                    self._run_task(net, decl, path, taskclass, set_name, chosen, spec)
+
+            self.net.add_transition(
+                Transition(f"start:{path}:{binding.name}", groups, start)
+            )
+
+    def _run_task(self, net, decl, path, taskclass, set_name, chosen, spec) -> None:
+        self.tasks_run.append(path)
+        refs: Dict[str, ObjectRef] = {}
+        for name, value in chosen.items():
+            class_name = ""
+            if spec is not None and spec.object(name) is not None:
+                class_name = spec.object(name).class_name
+            refs[name] = value if isinstance(value, ObjectRef) else ObjectRef(class_name, value)
+
+        def mark_sink(mark_name: str, objects) -> None:
+            net.put(
+                (path, "output", mark_name),
+                {obj_name: ref.value for obj_name, ref in objects.items()},
+            )
+
+        context = TaskContext(
+            task_path=path,
+            taskclass=taskclass,
+            input_set=set_name,
+            inputs=refs,
+            properties=decl.implementation.as_dict(),
+            mark_sink=mark_sink,
+        )
+        binding = self.registry.resolve(decl.implementation.code)
+        if isinstance(binding, ScriptBinding):
+            raise ExecutionError(f"{path}: script bindings unsupported in the net baseline")
+        result: TaskResult = binding(context)
+        token = {
+            name: value.value if isinstance(value, ObjectRef) else value
+            for name, value in result.objects.items()
+        }
+        net.put((path, "output", result.name), token)

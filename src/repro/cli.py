@@ -1,0 +1,171 @@
+"""Command-line interface for the workflow language tools.
+
+Mirrors the repository-service operations plus the graphical export::
+
+    python -m repro.cli validate  script.wf         # parse + semantic check
+    python -m repro.cli format    script.wf         # canonical pretty-print
+    python -m repro.cli inspect   script.wf         # structural summary
+    python -m repro.cli dot       script.wf [task]  # Graphviz export
+    python -m repro.cli demo      order|trip|service-impact
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.errors import ParseError, ValidationReport
+from .core.graph import structure_summary
+from .core.schema import CompoundTaskDecl
+from .engine import LocalEngine
+from .engine.trace import render_summary, render_trace
+from .lang import compile_script, format_script, parse
+from .lang.dot import to_dot
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    try:
+        script = compile_script(_read(args.script))
+    except (ParseError, ValidationReport) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {len(script.classes)} classes, {len(script.taskclasses)} task "
+        f"classes, {len(script.tasks)} top-level tasks, "
+        f"{len(script.templates)} templates"
+    )
+    return 0
+
+
+def cmd_format(args: argparse.Namespace) -> int:
+    script = parse(_read(args.script))
+    text = format_script(script)
+    if args.in_place:
+        with open(args.script, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    script = compile_script(_read(args.script))
+    print(f"classes     : {', '.join(sorted(script.classes)) or '-'}")
+    print(f"task classes: {', '.join(sorted(script.taskclasses)) or '-'}")
+    for name, decl in script.tasks.items():
+        if isinstance(decl, CompoundTaskDecl):
+            summary = structure_summary(decl)
+            print(
+                f"compound {name}: {summary['tasks']} constituents, "
+                f"{summary['data_edges']} dataflow + "
+                f"{summary['notification_edges']} notification arcs, "
+                f"{summary['outputs']} outputs"
+            )
+        else:
+            print(f"task {name}: taskclass {decl.taskclass_name}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .core.analysis import analyze_outcomes
+
+    script = compile_script(_read(args.script))
+    analysis = analyze_outcomes(script, args.task, max_cases=args.max_cases)
+    print(analysis.summary())
+    return 1 if analysis.unreachable else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .lang import lint_script
+
+    script = compile_script(_read(args.script))
+    warnings = lint_script(script)
+    for warning in warnings:
+        print(warning)
+    if not warnings:
+        print("clean: no lint findings")
+    return 1 if warnings and args.strict else 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    script = compile_script(_read(args.script))
+    print(to_dot(script, args.task), end="")
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from .workloads import paper_order, paper_service_impact, paper_trip
+
+    demos = {
+        "order": (paper_order, {"order": "order-1"}),
+        "trip": (paper_trip, {"user": "demo-user"}),
+        "service-impact": (paper_service_impact, {"alarmsSource": "alarm-feed"}),
+    }
+    module, inputs = demos[args.name]
+    script = module.build()
+    registry = module.default_registry()
+    result = LocalEngine(registry).run(script, inputs=inputs)
+    print(f"outcome: {result.outcome}\n")
+    print(render_trace(result.log))
+    print()
+    print(render_summary(result.log))
+    return 0 if result.completed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="workflow scripting language tools"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate = commands.add_parser("validate", help="parse and semantically check")
+    validate.add_argument("script")
+    validate.set_defaults(fn=cmd_validate)
+
+    fmt = commands.add_parser("format", help="canonical pretty-print")
+    fmt.add_argument("script")
+    fmt.add_argument("--in-place", action="store_true")
+    fmt.set_defaults(fn=cmd_format)
+
+    inspect = commands.add_parser("inspect", help="structural summary")
+    inspect.add_argument("script")
+    inspect.set_defaults(fn=cmd_inspect)
+
+    analyze = commands.add_parser(
+        "analyze", help="outcome reachability analysis (exhaustive, bounded)"
+    )
+    analyze.add_argument("script")
+    analyze.add_argument("task", nargs="?", default=None)
+    analyze.add_argument("--max-cases", type=int, default=20_000)
+    analyze.set_defaults(fn=cmd_analyze)
+
+    lint = commands.add_parser("lint", help="quality diagnostics")
+    lint.add_argument("script")
+    lint.add_argument("--strict", action="store_true", help="findings fail the run")
+    lint.set_defaults(fn=cmd_lint)
+
+    dot = commands.add_parser("dot", help="Graphviz export")
+    dot.add_argument("script")
+    dot.add_argument("task", nargs="?", default=None)
+    dot.set_defaults(fn=cmd_dot)
+
+    demo = commands.add_parser("demo", help="run a paper example")
+    demo.add_argument("name", choices=["order", "trip", "service-impact"])
+    demo.set_defaults(fn=cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

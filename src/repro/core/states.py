@@ -1,0 +1,195 @@
+"""The task state machine of paper Fig. 3.
+
+A task instance is initially ``WAIT``ing for one of its input sets to be
+satisfied.  It may abort while waiting (timer expiry, user abort, forced by
+the environment).  Once started it ``EXECUTE``s; during execution it may emit
+*mark* outputs (early release — after which aborting is forbidden, §4.2) and
+*repeat* outputs (re-enter execution via a fresh WAIT on its inputs).  It
+terminates in a named outcome or abort outcome.
+
+The machine is engine-agnostic: both the local and the distributed engine
+drive :class:`TaskStateMachine`, and the distributed engine persists
+:meth:`snapshot` images in atomic objects so crashes cannot corrupt the
+life-cycle.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .errors import ExecutionError
+from .schema import OutputKind, TaskClass
+
+
+class TaskState(enum.Enum):
+    WAIT = "wait"
+    EXECUTING = "executing"
+    COMPLETED = "completed"   # terminated in an `outcome`
+    ABORTED = "aborted"       # terminated in an `abort outcome`
+
+
+class IllegalTransition(ExecutionError):
+    """A transition not permitted by Fig. 3 was attempted."""
+
+
+@dataclass
+class TransitionRecord:
+    """One observed transition, for event logs and experiment assertions."""
+
+    from_state: TaskState
+    to_state: TaskState
+    label: str
+
+
+class TaskStateMachine:
+    """Life-cycle driver for one task instance.
+
+    The machine validates output names and kinds against the task class, so an
+    implementation cannot terminate a task in an output its class does not
+    declare — the run-time half of the language's type checking.
+    """
+
+    def __init__(self, task_path: str, taskclass: TaskClass) -> None:
+        self.task_path = task_path
+        self.taskclass = taskclass
+        self.state = TaskState.WAIT
+        self.outcome: Optional[str] = None
+        self.marked = False
+        self.marks_emitted: List[str] = []
+        self.repeats = 0
+        self.starts = 0
+        self.history: List[TransitionRecord] = []
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in (TaskState.COMPLETED, TaskState.ABORTED)
+
+    @property
+    def can_abort(self) -> bool:
+        """Marks forfeit the right to abort (§4.2)."""
+        return not self.terminal and not self.marked
+
+    # -- transitions ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """WAIT -> EXECUTING (an input set was satisfied)."""
+        self._require(TaskState.WAIT, "start")
+        self._move(TaskState.EXECUTING, "start")
+        self.starts += 1
+
+    def mark(self, name: str) -> None:
+        """Emit a mark output during execution.  Each mark may be produced
+        once per execution (§4.2: "may be produced once")."""
+        self._require(TaskState.EXECUTING, f"mark {name!r}")
+        spec = self._output(name, OutputKind.MARK)
+        if name in self.marks_emitted:
+            raise IllegalTransition(
+                f"{self.task_path}: mark {name!r} already produced this execution"
+            )
+        self.marked = True
+        self.marks_emitted.append(name)
+        self.history.append(TransitionRecord(self.state, self.state, f"mark:{name}"))
+
+    def repeat(self, name: str) -> None:
+        """EXECUTING -> WAIT via a repeat outcome."""
+        self._require(TaskState.EXECUTING, f"repeat {name!r}")
+        self._output(name, OutputKind.REPEAT)
+        self.repeats += 1
+        self.marks_emitted = []   # a new execution may emit its marks again
+        self.marked = False       # the next execution regains abort rights
+        self._move(TaskState.WAIT, f"repeat:{name}")
+
+    def complete(self, name: str) -> None:
+        """EXECUTING -> COMPLETED in a (non-abort) outcome."""
+        self._require(TaskState.EXECUTING, f"complete {name!r}")
+        self._output(name, OutputKind.OUTCOME)
+        self.outcome = name
+        self._move(TaskState.COMPLETED, f"outcome:{name}")
+
+    def abort(self, name: str) -> None:
+        """WAIT or EXECUTING -> ABORTED in an abort outcome.
+
+        Aborting from WAIT models timer expiry / forced abort; aborting from
+        EXECUTING models an atomic task rolling back.  Forbidden after a mark.
+        """
+        if self.terminal:
+            raise IllegalTransition(f"{self.task_path}: abort after termination")
+        if self.marked:
+            raise IllegalTransition(
+                f"{self.task_path}: cannot abort after producing a mark output"
+            )
+        self._output(name, OutputKind.ABORT)
+        self.outcome = name
+        self._move(TaskState.ABORTED, f"abort:{name}")
+
+    def system_retry(self) -> None:
+        """EXECUTING -> WAIT silently: the execution environment re-runs a
+        task that hit a *system-level* problem (server crash, transaction
+        abort) without surfacing any output event (§3).  Forbidden once a
+        mark has been released."""
+        self._require(TaskState.EXECUTING, "system retry")
+        if self.marked:
+            raise IllegalTransition(
+                f"{self.task_path}: cannot silently retry after a mark output"
+            )
+        self._move(TaskState.WAIT, "system-retry")
+
+    def reset_for_retry(self) -> None:
+        """ABORTED -> WAIT: the system-level automatic retry of §3.
+
+        Legal because an abort outcome means "no changes were performed"."""
+        if self.state is not TaskState.ABORTED:
+            raise IllegalTransition(f"{self.task_path}: retry of non-aborted task")
+        self.outcome = None
+        self._move(TaskState.WAIT, "retry")
+
+    # -- persistence --------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "state": self.state.value,
+            "outcome": self.outcome,
+            "marked": self.marked,
+            "marks_emitted": list(self.marks_emitted),
+            "repeats": self.repeats,
+            "starts": self.starts,
+        }
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        self.state = TaskState(snapshot["state"])
+        self.outcome = snapshot["outcome"]
+        self.marked = snapshot["marked"]
+        self.marks_emitted = list(snapshot["marks_emitted"])
+        self.repeats = snapshot["repeats"]
+        self.starts = snapshot["starts"]
+
+    # -- internals ---------------------------------------------------------------
+
+    def _require(self, state: TaskState, action: str) -> None:
+        if self.state is not state:
+            raise IllegalTransition(
+                f"{self.task_path}: {action} in state {self.state.value!r} "
+                f"(requires {state.value!r})"
+            )
+
+    def _output(self, name: str, kind: OutputKind):
+        spec = self.taskclass.output(name)
+        if spec is None:
+            raise IllegalTransition(
+                f"{self.task_path}: taskclass {self.taskclass.name!r} has no "
+                f"output {name!r}"
+            )
+        if spec.kind is not kind:
+            raise IllegalTransition(
+                f"{self.task_path}: output {name!r} is a {spec.kind.value}, "
+                f"not a {kind.value}"
+            )
+        return spec
+
+    def _move(self, to_state: TaskState, label: str) -> None:
+        self.history.append(TransitionRecord(self.state, to_state, label))
+        self.state = to_state

@@ -1,0 +1,47 @@
+"""Workflow execution engines (DESIGN.md subsystem S7).
+
+``LocalEngine`` runs instances deterministically in-process; the distributed
+engine lives behind :mod:`repro.services` and adds persistence, transactions
+and crash recovery on the same semantics (:mod:`repro.engine.instance`).
+"""
+
+from .context import (
+    PendingExternal,
+    TaskContext,
+    TaskResult,
+    abort,
+    coerce_objects,
+    outcome,
+    pending,
+    repeat,
+)
+from .trace import render_summary, render_trace
+from .events import EventLog, LogEntry, WorkflowResult, WorkflowStatus
+from .instance import CompoundNode, InstanceTree, TaskNode
+from .local import LocalEngine, LocalWorkflow
+from .registry import ImplementationRegistry, ScriptBinding, TaskCallable
+
+__all__ = [
+    "CompoundNode",
+    "EventLog",
+    "ImplementationRegistry",
+    "InstanceTree",
+    "LocalEngine",
+    "LocalWorkflow",
+    "LogEntry",
+    "PendingExternal",
+    "ScriptBinding",
+    "TaskCallable",
+    "TaskContext",
+    "TaskNode",
+    "TaskResult",
+    "WorkflowResult",
+    "WorkflowStatus",
+    "abort",
+    "coerce_objects",
+    "outcome",
+    "pending",
+    "render_summary",
+    "render_trace",
+    "repeat",
+]

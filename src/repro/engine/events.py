@@ -1,0 +1,110 @@
+"""Workflow-level event log, statuses and results.
+
+Every scope-level :class:`~repro.core.selection.WorkflowEvent` is also
+recorded here with its full instance path and (virtual or step) time, giving
+experiments a single chronological record to assert ordering properties
+against — e.g. "t4 started only after both t2 and t3 finished" (Fig. 1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.selection import EventKind, WorkflowEvent
+from ..core.values import ObjectRef
+
+
+class WorkflowStatus(enum.Enum):
+    RUNNING = "running"
+    COMPLETED = "completed"   # root terminated in an outcome
+    ABORTED = "aborted"       # root terminated in an abort outcome
+    STALLED = "stalled"       # no progress possible, root not terminal
+    FAILED = "failed"         # unrecoverable implementation/system failure
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One event, globally timestamped and path-qualified."""
+
+    seq: int
+    time: float
+    scope_path: str
+    producer_path: str
+    event: WorkflowEvent
+
+    @property
+    def kind(self) -> EventKind:
+        return self.event.kind
+
+    @property
+    def name(self) -> str:
+        return self.event.name
+
+
+class EventLog:
+    """Chronological record of everything a workflow instance did."""
+
+    def __init__(self) -> None:
+        self.entries: List[LogEntry] = []
+
+    def record(
+        self, time: float, scope_path: str, producer_path: str, event: WorkflowEvent
+    ) -> LogEntry:
+        entry = LogEntry(len(self.entries), time, scope_path, producer_path, event)
+        self.entries.append(entry)
+        return entry
+
+    # -- queries used by tests and benchmarks ------------------------------------
+
+    def for_task(self, producer_path: str) -> List[LogEntry]:
+        return [e for e in self.entries if e.producer_path == producer_path]
+
+    def of_kind(self, kind: EventKind) -> List[LogEntry]:
+        return [e for e in self.entries if e.event.kind is kind]
+
+    def first(self, producer_path: str, kind: EventKind) -> Optional[LogEntry]:
+        for entry in self.entries:
+            if entry.producer_path == producer_path and entry.event.kind is kind:
+                return entry
+        return None
+
+    def started_order(self) -> List[str]:
+        """Producer paths in the order their (first) INPUT event appeared —
+        i.e. task start order."""
+        seen: List[str] = []
+        for entry in self.entries:
+            if entry.event.kind is EventKind.INPUT and entry.producer_path not in seen:
+                seen.append(entry.producer_path)
+        return seen
+
+    def happened_before(self, earlier: Tuple[str, EventKind], later: Tuple[str, EventKind]) -> bool:
+        """Did the first (earlier) event precede the first (later) event?"""
+        first = self.first(*earlier)
+        second = self.first(*later)
+        return first is not None and second is not None and first.seq < second.seq
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class WorkflowResult:
+    """Final report of one workflow instance run."""
+
+    status: WorkflowStatus
+    outcome: Optional[str] = None
+    objects: Dict[str, ObjectRef] = field(default_factory=dict)
+    marks: List[Tuple[str, Dict[str, ObjectRef]]] = field(default_factory=list)
+    log: EventLog = field(default_factory=EventLog)
+    stats: Dict[str, float] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.status is WorkflowStatus.COMPLETED
+
+    def value(self, name: str, default=None):
+        ref = self.objects.get(name)
+        return default if ref is None else ref.value

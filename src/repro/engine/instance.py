@@ -1,0 +1,701 @@
+"""Workflow instance semantics: the live tree of task instances.
+
+This module turns a validated :class:`~repro.core.schema.Script` into a tree
+of live task instances and drives all engine-independent semantics:
+
+* input satisfaction and deterministic selection (via ``core.selection``),
+* the Fig. 3 life-cycle (via ``core.states``),
+* event propagation through nested compound scopes,
+* compound output mapping, including mark, repeat and abort outputs,
+* system-level automatic retries of failed tasks (§3),
+* dynamic reconfiguration of the running instance (§3).
+
+Engines (local or distributed) only decide *where and when* ready tasks
+execute; everything else lives here, so both engines share one semantics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..core.errors import ExecutionError, ReconfigurationError
+from ..core.schema import (
+    AnyTaskDecl,
+    CompoundTaskDecl,
+    InputObjectBinding,
+    InputSetBinding,
+    NotificationBinding,
+    OutputBinding,
+    OutputKind,
+    Script,
+    TaskClass,
+    TaskDecl,
+)
+from ..core.selection import (
+    EventKind,
+    Scope,
+    TaskInputTracker,
+    WorkflowEvent,
+    event_kind_for,
+)
+from ..core.states import TaskState, TaskStateMachine
+from ..core.values import ObjectRef
+from .context import TaskResult, coerce_objects
+from .events import EventLog, WorkflowStatus
+
+
+def _watch_binding(binding: OutputBinding) -> InputSetBinding:
+    """A compound output mapping satisfies exactly like an input set: all its
+    object and notification bindings must fire.  Reuse the tracker machinery
+    by viewing the OutputBinding as an InputSetBinding."""
+    return InputSetBinding(
+        name=binding.name,
+        objects=tuple(
+            InputObjectBinding(b.name, b.sources) for b in binding.objects
+        ),
+        notifications=binding.notifications,
+    )
+
+
+class TaskNode:
+    """One live task instance (simple)."""
+
+    def __init__(
+        self,
+        decl: AnyTaskDecl,
+        taskclass: TaskClass,
+        path: str,
+        parent: Optional["CompoundNode"],
+        tree: "InstanceTree",
+    ) -> None:
+        self.decl = decl
+        self.taskclass = taskclass
+        self.path = path
+        self.parent = parent
+        self.tree = tree
+        self.machine = TaskStateMachine(path, taskclass)
+        self.outer_scope: Scope = parent.inner_scope if parent else tree.root_scope
+        self.tracker = self._new_tracker()
+        self.alive = True
+        self.queued = False
+        self.attempt = 0           # system-retry counter
+        self.chosen: Optional[Tuple[str, Dict[str, ObjectRef]]] = None
+        # environment-supplied inputs (root task only): override the tracker
+        self.env_inputs: Optional[Tuple[str, Dict[str, ObjectRef]]] = None
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def local_name(self) -> str:
+        return self.decl.name
+
+    @property
+    def is_compound(self) -> bool:
+        return isinstance(self, CompoundNode)
+
+    def ancestors_executing(self) -> bool:
+        node = self.parent
+        while node is not None:
+            if node.machine.state is not TaskState.EXECUTING:
+                return False
+            node = node.parent
+        return True
+
+    def retry_limit(self) -> int:
+        raw = self.decl.implementation.get("retries")
+        if raw is None:
+            return self.tree.default_retries
+        try:
+            return int(raw)
+        except ValueError:
+            return self.tree.default_retries
+
+    def priority(self) -> int:
+        raw = self.decl.implementation.get("priority", "0")
+        try:
+            return int(raw)
+        except ValueError:
+            return 0
+
+    # -- input tracking ------------------------------------------------------------
+
+    def interests(self) -> set:
+        """Producer names this node's input bindings can ever match — used
+        by the tree's event-routing index so an event is only offered to
+        nodes that might consume it."""
+        names = set()
+        for binding in self.decl.input_sets:
+            for obj in binding.objects:
+                for source in obj.sources:
+                    names.add(source.task_name)
+            for notif in binding.notifications:
+                for source in notif.sources:
+                    names.add(source.task_name)
+        return names
+
+    def _new_tracker(self) -> TaskInputTracker:
+        bindings = self.decl.input_sets
+        if not bindings and not self.taskclass.input_sets:
+            # A task class without input sets starts unconditionally once its
+            # enclosing compound is executing.
+            bindings = (InputSetBinding(""),)
+        return TaskInputTracker(bindings)
+
+    def reset_inputs(self) -> None:
+        """Rebuild the tracker and replay the scope history into it (used
+        after repeat outcomes, system retries and reconfiguration)."""
+        self.tracker = self._new_tracker()
+        self.outer_scope.replay_into(self.tracker)
+
+    def ready(self) -> Optional[Tuple[str, Dict[str, ObjectRef]]]:
+        if not self.alive or self.machine.state is not TaskState.WAIT:
+            return None
+        if not self.ancestors_executing():
+            return None
+        if self.env_inputs is not None:
+            return self.env_inputs
+        return self.tracker.ready()
+
+    def deactivate(self) -> None:
+        self.alive = False
+
+
+class CompoundNode(TaskNode):
+    """One live compound task instance: children + inner scope + output map."""
+
+    def __init__(
+        self,
+        decl: CompoundTaskDecl,
+        taskclass: TaskClass,
+        path: str,
+        parent: Optional["CompoundNode"],
+        tree: "InstanceTree",
+    ) -> None:
+        self.inner_scope = Scope(path)  # must exist before children bind to it
+        super().__init__(decl, taskclass, path, parent, tree)
+        self.children: List[TaskNode] = []
+        self.output_watchers: List[TaskInputTracker] = []
+        self.emitted_outputs: set = set()
+        self._build_inside()
+
+    @property
+    def compound_decl(self) -> CompoundTaskDecl:
+        return self.decl  # type: ignore[return-value]
+
+    def _build_inside(self) -> None:
+        self.inner_scope.owner_node = self
+        self.children = [
+            self.tree._make_node(child, self) for child in self.compound_decl.tasks
+        ]
+        self.output_watchers = [
+            TaskInputTracker([_watch_binding(b)]) for b in self.compound_decl.outputs
+        ]
+        self.emitted_outputs = set()
+        self._rebuild_routing()
+
+    def _rebuild_routing(self) -> None:
+        """Index constituents by the producers they listen to, so pump()
+        offers each event only where it can matter (E13 hot path)."""
+        index: Dict[str, List[TaskNode]] = {}
+        for child in self.children:
+            for producer in child.interests():
+                index.setdefault(producer, []).append(child)
+        self.routing = index
+
+    def child(self, name: str) -> Optional[TaskNode]:
+        for node in self.children:
+            if node.local_name == name:
+                return node
+        return None
+
+    def reset_inside(self) -> None:
+        """Fresh inner world after a repeat outcome: constituents restart from
+        scratch with an empty inner event history."""
+        for node in self.children:
+            node.deactivate()
+        self.inner_scope = Scope(self.path)
+        self._build_inside()
+
+    def deactivate(self) -> None:
+        super().deactivate()
+        for node in self.children:
+            node.deactivate()
+
+
+class InstanceTree:
+    """A running workflow instance (engine-independent semantics)."""
+
+    def __init__(
+        self,
+        script: Script,
+        root_task: str,
+        log: Optional[EventLog] = None,
+        now: Callable[[], float] = lambda: 0.0,
+        default_retries: int = 3,
+        max_repeats: int = 1000,
+    ) -> None:
+        if root_task not in script.tasks:
+            raise ExecutionError(f"script has no top-level task {root_task!r}")
+        self.script = script
+        self.log = log or EventLog()
+        self.now = now
+        self.default_retries = default_retries
+        self.max_repeats = max_repeats
+        self.root_scope = Scope("")
+        self.status = WorkflowStatus.RUNNING
+        self.error: Optional[str] = None
+        self._ready: Deque[TaskNode] = deque()
+        self._pending: Deque[Tuple[Scope, str, WorkflowEvent]] = deque()
+        self.nodes_created = 0
+        self.root = self._make_node(script.tasks[root_task], None)
+
+    # -- tree construction ------------------------------------------------------------
+
+    def _make_node(self, decl: AnyTaskDecl, parent: Optional[CompoundNode]) -> TaskNode:
+        taskclass = self.script.taskclass_of(decl)
+        path = f"{parent.path}/{decl.name}" if parent else decl.name
+        self.nodes_created += 1
+        if isinstance(decl, CompoundTaskDecl):
+            return CompoundNode(decl, taskclass, path, parent, self)
+        return TaskNode(decl, taskclass, path, parent, self)
+
+    def walk(self) -> List[TaskNode]:
+        result: List[TaskNode] = []
+
+        def visit(node: TaskNode) -> None:
+            result.append(node)
+            if isinstance(node, CompoundNode):
+                for child in node.children:
+                    visit(child)
+
+        visit(self.root)
+        return result
+
+    def node_at(self, path: str) -> TaskNode:
+        parts = [p for p in path.split("/") if p]
+        if not parts or parts[0] != self.root.local_name:
+            raise ExecutionError(f"no instance at path {path!r}")
+        node: TaskNode = self.root
+        for part in parts[1:]:
+            if not isinstance(node, CompoundNode):
+                raise ExecutionError(f"no instance at path {path!r}")
+            child = node.child(part)
+            if child is None:
+                raise ExecutionError(f"no instance at path {path!r}")
+            node = child
+        return node
+
+    # -- starting ----------------------------------------------------------------------
+
+    def start(self, input_set: str, inputs: Mapping[str, object]) -> None:
+        """Kick off the root task with environment-supplied inputs."""
+        spec = self.root.taskclass.input_set(input_set)
+        if spec is None and self.root.taskclass.input_sets:
+            raise ExecutionError(
+                f"root taskclass {self.root.taskclass.name!r} has no input set "
+                f"{input_set!r}"
+            )
+        if spec is None and inputs:
+            raise ExecutionError(
+                f"root taskclass {self.root.taskclass.name!r} takes no inputs"
+            )
+        if spec is None:
+            input_set = ""
+        coerced: Dict[str, ObjectRef] = {}
+        if spec is not None:
+            declared = {o.name: o for o in spec.objects}
+            missing = sorted(set(declared) - set(inputs))
+            if missing:
+                raise ExecutionError(f"missing root inputs: {missing}")
+            for name, value in inputs.items():
+                if name not in declared:
+                    raise ExecutionError(f"unknown root input {name!r}")
+                if isinstance(value, ObjectRef):
+                    coerced[name] = value
+                else:
+                    coerced[name] = ObjectRef(
+                        declared[name].class_name, value, "<env>", input_set
+                    )
+        self.root.env_inputs = (input_set, coerced)
+        self._enqueue_if_ready(self.root)
+        self.pump()
+
+    def _start_node(
+        self, node: TaskNode, input_set: str, inputs: Dict[str, ObjectRef]
+    ) -> None:
+        node.machine.start()
+        node.chosen = (input_set, inputs)
+        self._publish(node.outer_scope, node, EventKind.INPUT, input_set, inputs)
+        if isinstance(node, CompoundNode):
+            # Constituents source the compound's inputs via `if input <set>`.
+            self._publish(
+                node.inner_scope, node, EventKind.INPUT, input_set, inputs,
+                local_name=node.local_name,
+            )
+
+    # -- event machinery ------------------------------------------------------------------
+
+    def _publish(
+        self,
+        scope: Scope,
+        node: TaskNode,
+        kind: EventKind,
+        name: str,
+        objects: Mapping[str, ObjectRef],
+        local_name: Optional[str] = None,
+    ) -> WorkflowEvent:
+        producer = local_name or node.local_name
+        event = scope.publish(producer, kind, name, objects)
+        self.log.record(self.now(), scope.path, node.path, event)
+        self._pending.append((scope, producer, event))
+        return event
+
+    def pump(self) -> None:
+        """Propagate all pending events to listeners; fill the ready queue."""
+        while self._pending:
+            if self.status is not WorkflowStatus.RUNNING:
+                self._pending.clear()
+                return
+            scope, _producer, event = self._pending.popleft()
+            owner = self._scope_owner(scope)
+            if owner is not None:
+                # inner-scope event: offer to interested constituents and the
+                # owner's output watchers (routing index keeps this sparse)
+                for child in list(owner.routing.get(event.producer, ())):
+                    if child.alive and child.machine.state is TaskState.WAIT:
+                        child.tracker.offer(event)
+                        self._enqueue_if_ready(child)
+                self._evaluate_outputs(owner, event)
+            else:
+                # root scope: only the root listens (self-references included)
+                if self.root.alive and self.root.machine.state is TaskState.WAIT:
+                    self.root.tracker.offer(event)
+                    self._enqueue_if_ready(self.root)
+
+    def _scope_owner(self, scope: Scope) -> Optional[CompoundNode]:
+        # CompoundNodes stamp themselves onto the scopes they own.
+        return getattr(scope, "owner_node", None)
+
+    def _enqueue_if_ready(self, node: TaskNode) -> None:
+        if node.queued:
+            return
+        readiness = node.ready()
+        if readiness is None:
+            return
+        if isinstance(node, CompoundNode):
+            # compounds start internally: no user code runs for them
+            input_set, inputs = readiness
+            self._start_node(node, input_set, inputs)
+            self._scan_children(node)
+        else:
+            node.queued = True
+            self._ready.append(node)
+
+    def _scan_children(self, compound: CompoundNode) -> None:
+        """After a compound starts, children with no (or trivially satisfied)
+        dependencies become eligible without any further event."""
+        for child in compound.children:
+            self._enqueue_if_ready(child)
+
+    def take_ready(self) -> Optional[TaskNode]:
+        """Next simple task to execute (highest priority first, FIFO within a
+        priority level).  Returns None when nothing is ready."""
+        self.pump()
+        if not self._ready:
+            return None
+        best_index = max(
+            range(len(self._ready)), key=lambda i: (self._ready[i].priority(), -i)
+        )
+        # deque rotation to pop an arbitrary index
+        self._ready.rotate(-best_index)
+        node = self._ready.popleft()
+        self._ready.rotate(best_index)
+        node.queued = False
+        if node.ready() is None:  # stale (ancestor terminated meanwhile)
+            return self.take_ready()
+        return node
+
+    def has_work(self) -> bool:
+        self.pump()
+        return bool(self._ready) and self.status is WorkflowStatus.RUNNING
+
+    # -- applying execution results (called by engines) ------------------------------------
+
+    def begin_execution(self, node: TaskNode) -> Tuple[str, Dict[str, ObjectRef]]:
+        """Transition a ready node into EXECUTING; returns (set, inputs)."""
+        readiness = node.ready()
+        if readiness is None:
+            raise ExecutionError(f"{node.path}: not ready")
+        input_set, inputs = readiness
+        self._start_node(node, input_set, inputs)
+        return input_set, inputs
+
+    def apply_mark(self, node: TaskNode, name: str, objects: Dict[str, ObjectRef]) -> None:
+        if not node.alive:
+            return
+        node.machine.mark(name)
+        self._publish(node.outer_scope, node, EventKind.MARK, name, objects)
+        self.pump()
+
+    def apply_result(self, node: TaskNode, result: TaskResult) -> None:
+        """Apply a terminal/repeat result produced by an implementation."""
+        if not node.alive or node.machine.state is not TaskState.EXECUTING:
+            return  # stale result (e.g. enclosing compound repeated/terminated)
+        objects = coerce_objects(node.taskclass, result.name, result.objects, node.path)
+        if result.kind is OutputKind.OUTCOME:
+            node.machine.complete(result.name)
+            self._publish(node.outer_scope, node, EventKind.OUTCOME, result.name, objects)
+        elif result.kind is OutputKind.ABORT:
+            node.machine.abort(result.name)
+            self._publish(node.outer_scope, node, EventKind.ABORT, result.name, objects)
+        elif result.kind is OutputKind.REPEAT:
+            if node.machine.repeats + 1 > self.max_repeats:
+                self.fail(f"{node.path}: exceeded max_repeats={self.max_repeats}")
+                return
+            node.machine.repeat(result.name)
+            self._publish(node.outer_scope, node, EventKind.REPEAT, result.name, objects)
+            node.reset_inputs()
+            self._enqueue_if_ready(node)
+        else:
+            raise ExecutionError(f"{node.path}: result kind {result.kind} is not terminal")
+        self._after_node_event(node)
+
+    def apply_failure(self, node: TaskNode, error: BaseException) -> bool:
+        """System-level failure of an executing task.
+
+        Returns True if the task will be retried silently (§3's automatic
+        retries); False if the failure was surfaced (abort outcome published
+        or workflow failed).
+        """
+        if not node.alive or node.machine.state is not TaskState.EXECUTING:
+            return False
+        if node.machine.marked:
+            # Results already released: cannot pretend nothing happened.
+            self.fail(f"{node.path}: failed after producing a mark: {error!r}")
+            return False
+        node.attempt += 1
+        if node.attempt <= node.retry_limit():
+            node.machine.system_retry()
+            node.reset_inputs()
+            self._enqueue_if_ready(node)
+            self.pump()
+            return True
+        aborts = node.taskclass.outputs_of_kind(OutputKind.ABORT)
+        if aborts:
+            spec = aborts[0]
+            objects = {
+                o.name: ObjectRef(o.class_name, None, node.path, spec.name)
+                for o in spec.objects
+            }
+            node.machine.abort(spec.name)
+            self._publish(node.outer_scope, node, EventKind.ABORT, spec.name, objects)
+            self._after_node_event(node)
+            return False
+        self.fail(f"{node.path}: retries exhausted: {error!r}")
+        return False
+
+    def force_abort(self, path: str, abort_name: Optional[str] = None) -> None:
+        """Abort a task from the outside (timer expiry / user abort, Fig. 3)."""
+        node = self.node_at(path)
+        aborts = node.taskclass.outputs_of_kind(OutputKind.ABORT)
+        if abort_name is None:
+            if not aborts:
+                raise ExecutionError(f"{path}: taskclass declares no abort outcome")
+            abort_name = aborts[0].name
+        node.machine.abort(abort_name)
+        objects = {
+            o.name: ObjectRef(o.class_name, None, node.path, abort_name)
+            for o in node.taskclass.output(abort_name).objects
+        }
+        self._publish(node.outer_scope, node, EventKind.ABORT, abort_name, objects)
+        self._after_node_event(node)
+        self.pump()
+
+    def _after_node_event(self, node: TaskNode) -> None:
+        if node.machine.terminal and isinstance(node, CompoundNode):
+            for child in node.children:
+                child.deactivate()
+        if node is self.root and node.machine.terminal:
+            self.status = (
+                WorkflowStatus.COMPLETED
+                if node.machine.state is TaskState.COMPLETED
+                else WorkflowStatus.ABORTED
+            )
+        self.pump()
+
+    def fail(self, error: str) -> None:
+        self.status = WorkflowStatus.FAILED
+        self.error = error
+
+    # -- compound output mapping --------------------------------------------------------------
+
+    def _evaluate_outputs(self, compound: CompoundNode, event: WorkflowEvent) -> None:
+        if compound.machine.state is not TaskState.EXECUTING:
+            return
+        decl = compound.compound_decl
+        for binding, watcher in zip(decl.outputs, compound.output_watchers):
+            watcher.offer(event)
+        # marks first (they do not terminate), then repeat, then terminal
+        self._emit_satisfied_outputs(compound, OutputKind.MARK)
+        if compound.machine.state is not TaskState.EXECUTING:
+            return
+        if self._emit_satisfied_outputs(compound, OutputKind.REPEAT):
+            return
+        self._emit_satisfied_outputs(compound, OutputKind.OUTCOME, OutputKind.ABORT)
+
+    def _emit_satisfied_outputs(self, compound: CompoundNode, *kinds: OutputKind) -> bool:
+        decl = compound.compound_decl
+        for binding, watcher in zip(decl.outputs, compound.output_watchers):
+            spec = compound.taskclass.output(binding.name)
+            if spec is None or spec.kind not in kinds:
+                continue
+            if binding.name in compound.emitted_outputs:
+                continue
+            readiness = watcher.ready()
+            if readiness is None:
+                continue
+            _set_name, raw_objects = readiness
+            objects = {
+                name: self._retag(value, spec, name, compound)
+                for name, value in raw_objects.items()
+            }
+            compound.emitted_outputs.add(binding.name)
+            if spec.kind is OutputKind.MARK:
+                compound.machine.mark(binding.name)
+                self._publish(
+                    compound.outer_scope, compound, EventKind.MARK, binding.name, objects
+                )
+            elif spec.kind is OutputKind.REPEAT:
+                if compound.machine.repeats + 1 > self.max_repeats:
+                    self.fail(
+                        f"{compound.path}: exceeded max_repeats={self.max_repeats}"
+                    )
+                    return True
+                compound.machine.repeat(binding.name)
+                self._publish(
+                    compound.outer_scope, compound, EventKind.REPEAT, binding.name, objects
+                )
+                compound.reset_inside()
+                compound.reset_inputs()
+                self._enqueue_if_ready(compound)
+                return True
+            else:
+                if spec.kind is OutputKind.OUTCOME:
+                    compound.machine.complete(binding.name)
+                    kind = EventKind.OUTCOME
+                else:
+                    compound.machine.abort(binding.name)
+                    kind = EventKind.ABORT
+                self._publish(
+                    compound.outer_scope, compound, kind, binding.name, objects
+                )
+                self._after_node_event(compound)
+                return True
+        return False
+
+    def _retag(
+        self, value: ObjectRef, spec, name: str, compound: CompoundNode
+    ) -> ObjectRef:
+        decl = spec.object(name)
+        class_name = decl.class_name if decl else value.class_name
+        return ObjectRef(class_name, value.value, compound.path, spec.name)
+
+    # -- dynamic reconfiguration -------------------------------------------------------------
+
+    def reconfigure(self, new_script: Script) -> None:
+        """Atomically switch the running instance to ``new_script``.
+
+        Rules (mirroring §3): constituents present in both keep their state;
+        added constituents join in WAIT and see the scope's full event
+        history; removed constituents must not have started; dependency
+        changes on waiting tasks take effect immediately (tracker rebuild +
+        replay).  Raises :class:`ReconfigurationError` without any effect if
+        a rule is violated — the transactional all-or-nothing behaviour.
+        """
+        root_name = self.root.local_name
+        if root_name not in new_script.tasks:
+            raise ReconfigurationError(
+                f"new script lost the running root task {root_name!r}"
+            )
+        plan: List[Callable[[], None]] = []
+        self._plan_reconfigure(self.root, new_script.tasks[root_name], new_script, plan)
+        # all checks passed: apply
+        self.script = new_script
+        for action in plan:
+            action()
+        self.pump()
+
+    def _plan_reconfigure(
+        self,
+        node: TaskNode,
+        new_decl: AnyTaskDecl,
+        new_script: Script,
+        plan: List[Callable[[], None]],
+    ) -> None:
+        if new_decl.taskclass_name != node.decl.taskclass_name:
+            raise ReconfigurationError(
+                f"{node.path}: cannot change taskclass of a live instance"
+            )
+        inputs_changed = new_decl.input_sets != node.decl.input_sets
+
+        def update_decl(n: TaskNode = node, d: AnyTaskDecl = new_decl, ic: bool = inputs_changed) -> None:
+            n.decl = d
+            if ic:
+                if isinstance(n.parent, CompoundNode):
+                    n.parent._rebuild_routing()
+                if n.machine.state is TaskState.WAIT:
+                    n.reset_inputs()
+                    self._enqueue_if_ready(n)
+
+        plan.append(update_decl)
+        if isinstance(node, CompoundNode):
+            if not isinstance(new_decl, CompoundTaskDecl):
+                raise ReconfigurationError(
+                    f"{node.path}: cannot change compound into simple task"
+                )
+            old_names = {c.local_name for c in node.children}
+            new_names = {t.name for t in new_decl.tasks}
+            for removed in sorted(old_names - new_names):
+                child = node.child(removed)
+                if child is not None and child.machine.starts > 0:
+                    raise ReconfigurationError(
+                        f"{child.path}: cannot remove a task that already started"
+                    )
+
+                def drop(c: CompoundNode = node, name: str = removed) -> None:
+                    victim = c.child(name)
+                    if victim is not None:
+                        victim.deactivate()
+                        c.children.remove(victim)
+                        c._rebuild_routing()
+
+                plan.append(drop)
+            for child in node.children:
+                if child.local_name in new_names:
+                    self._plan_reconfigure(
+                        child, new_decl.task(child.local_name), new_script, plan
+                    )
+            for added in [t for t in new_decl.tasks if t.name not in old_names]:
+
+                def grow(c: CompoundNode = node, d: AnyTaskDecl = added) -> None:
+                    fresh = self._make_node(d, c)
+                    c.children.append(fresh)
+                    c._rebuild_routing()
+                    c.inner_scope.replay_into(fresh.tracker)
+                    self._enqueue_if_ready(fresh)
+
+                plan.append(grow)
+            if new_decl.outputs != node.compound_decl.outputs:
+
+                def rewatch(c: CompoundNode = node, d: CompoundTaskDecl = new_decl) -> None:
+                    preserved = c.emitted_outputs
+                    c.output_watchers = [
+                        TaskInputTracker([_watch_binding(b)]) for b in d.outputs
+                    ]
+                    c.emitted_outputs = preserved
+                    for event in c.inner_scope.events:
+                        for watcher in c.output_watchers:
+                            watcher.offer(event)
+
+                plan.append(rewatch)

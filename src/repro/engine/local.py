@@ -1,0 +1,320 @@
+"""Local (in-process) workflow engine.
+
+Runs a workflow instance deterministically in one process: ready tasks
+execute synchronously, one at a time, in priority/FIFO order.  This engine is
+the reference implementation of the language semantics — fast enough for
+property-based testing and used by most examples; the distributed engine
+(:mod:`repro.engine.distributed`) adds the paper's system-level fault
+tolerance on top of the same :class:`~repro.engine.instance.InstanceTree`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..core.errors import BindingError, ExecutionError
+from ..core.schema import Script
+from ..core.selection import EventKind
+from ..core.values import ObjectRef
+from .context import PendingExternal, TaskContext, TaskResult, coerce_objects
+from .events import EventLog, WorkflowResult, WorkflowStatus
+from .instance import InstanceTree, TaskNode
+from .registry import ImplementationRegistry, ScriptBinding
+
+
+class LocalWorkflow:
+    """One running instance under step-by-step local control.
+
+    Useful when a test or administrative application needs to interleave
+    execution with reconfiguration or forced aborts::
+
+        wf = LocalWorkflow(script, "order", registry)
+        wf.start({"order": "o-1"})
+        wf.step()                      # run exactly one task
+        wf.reconfigure(new_script)     # atomic change (§3)
+        wf.run_to_completion()
+    """
+
+    def __init__(
+        self,
+        script: Script,
+        root_task: str,
+        registry: ImplementationRegistry,
+        default_retries: int = 3,
+        max_repeats: int = 1000,
+        max_steps: int = 100_000,
+    ) -> None:
+        self.registry = registry
+        self.max_steps = max_steps
+        self.steps = 0
+        self.tree = InstanceTree(
+            script,
+            root_task,
+            default_retries=default_retries,
+            max_repeats=max_repeats,
+        )
+
+    # -- control ---------------------------------------------------------------
+
+    def start(self, inputs: Optional[Mapping[str, object]] = None, input_set: str = "main") -> None:
+        self.tree.start(input_set, inputs or {})
+
+    def step(self) -> bool:
+        """Execute one ready task.  Returns False when nothing was ready."""
+        node = self.tree.take_ready()
+        if node is None:
+            return False
+        self.steps += 1
+        if self.steps > self.max_steps:
+            self.tree.fail(f"exceeded max_steps={self.max_steps}")
+            return False
+        self._execute(node)
+        return True
+
+    def run_to_completion(self) -> WorkflowResult:
+        while self.tree.status is WorkflowStatus.RUNNING:
+            if not self.step():
+                break
+        return self.result()
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def status(self) -> WorkflowStatus:
+        if self.tree.status is WorkflowStatus.RUNNING and not self.tree.has_work():
+            return WorkflowStatus.STALLED
+        return self.tree.status
+
+    @property
+    def log(self) -> EventLog:
+        return self.tree.log
+
+    def result(self) -> WorkflowResult:
+        root = self.tree.root
+        status = self.tree.status
+        if status is WorkflowStatus.RUNNING:
+            status = WorkflowStatus.STALLED
+        objects: Dict[str, ObjectRef] = {}
+        marks = []
+        for entry in self.tree.log.entries:
+            if entry.producer_path != root.path:
+                continue
+            if entry.event.kind in (EventKind.OUTCOME, EventKind.ABORT):
+                objects = dict(entry.event.objects)
+            elif entry.event.kind is EventKind.MARK:
+                marks.append((entry.event.name, dict(entry.event.objects)))
+        return WorkflowResult(
+            status=status,
+            outcome=root.machine.outcome,
+            objects=objects,
+            marks=marks,
+            log=self.tree.log,
+            stats={
+                "steps": self.steps,
+                "events": len(self.tree.log),
+                "nodes": self.tree.nodes_created,
+            },
+            error=self.tree.error,
+        )
+
+    # -- administration --------------------------------------------------------------
+
+    def reconfigure(self, new_script: Script) -> None:
+        self.tree.reconfigure(new_script)
+
+    def force_abort(self, path: str, abort_name: Optional[str] = None) -> None:
+        self.tree.force_abort(path, abort_name)
+
+    def complete_external(self, path: str, output_name: str, **objects) -> None:
+        """Supply the outcome of a task parked by :func:`repro.engine.pending`.
+
+        The output may be any kind the task class declares (outcome, abort
+        outcome, repeat outcome); objects are coerced against its signature.
+        """
+        node = self.tree.node_at(path)
+        spec = node.taskclass.output(output_name)
+        if spec is None:
+            raise ExecutionError(
+                f"{path}: taskclass {node.taskclass.name!r} has no output "
+                f"{output_name!r}"
+            )
+        from ..core.states import TaskState
+
+        if node.machine.state is not TaskState.EXECUTING:
+            raise ExecutionError(
+                f"{path}: not executing (state={node.machine.state.value})"
+            )
+        self.tree.apply_result(node, TaskResult(spec.kind, output_name, objects))
+
+    # -- execution ----------------------------------------------------------------------
+
+    def _execute(self, node: TaskNode) -> None:
+        input_set, inputs = self.tree.begin_execution(node)
+        code = node.decl.implementation.code
+        try:
+            binding = self.registry.resolve(code)
+        except BindingError as exc:
+            self.tree.apply_failure(node, exc)
+            return
+        if isinstance(binding, ScriptBinding):
+            self._execute_subworkflow(node, binding, input_set, inputs)
+            return
+        context = TaskContext(
+            task_path=node.path,
+            taskclass=node.taskclass,
+            input_set=input_set,
+            inputs=inputs,
+            properties=node.decl.implementation.as_dict(),
+            attempt=node.attempt + 1,
+            repeats=node.machine.repeats,
+            mark_sink=lambda name, objects: self.tree.apply_mark(node, name, objects),
+        )
+        try:
+            result = binding(context)
+        except Exception as exc:  # implementation failure -> system handling
+            self.tree.apply_failure(node, exc)
+            return
+        if isinstance(result, PendingExternal):
+            # parked: stays EXECUTING until complete_external() supplies the
+            # outcome (long-running / interactive tasks, §1)
+            return
+        if not isinstance(result, TaskResult):
+            self.tree.apply_failure(
+                node,
+                ExecutionError(
+                    f"{node.path}: implementation returned {type(result).__name__}, "
+                    f"expected TaskResult"
+                ),
+            )
+            return
+        try:
+            self.tree.apply_result(node, result)
+        except ExecutionError as exc:
+            # the result did not match the task class signature
+            self.tree.apply_failure(node, exc)
+
+    def _execute_subworkflow(
+        self,
+        node: TaskNode,
+        binding: ScriptBinding,
+        input_set: str,
+        inputs: Mapping[str, ObjectRef],
+    ) -> None:
+        """Run a script bound as this task's implementation (§4.4: a compound
+        task used as code).  The sub-root's outputs become this task's."""
+        sub = LocalWorkflow(
+            binding.script,
+            binding.task_name,
+            self.registry,
+            max_steps=self.max_steps - self.steps,
+        )
+        try:
+            sub.start({name: ref for name, ref in inputs.items()}, input_set)
+            sub_result = sub.run_to_completion()
+        except Exception as exc:
+            self.tree.apply_failure(node, exc)
+            return
+        for mark_name, mark_objects in sub_result.marks:
+            coerced = coerce_objects(
+                node.taskclass,
+                mark_name,
+                {k: v.value for k, v in mark_objects.items()},
+                node.path,
+            )
+            self.tree.apply_mark(node, mark_name, coerced)
+        if sub_result.status is WorkflowStatus.COMPLETED:
+            spec = node.taskclass.output(sub_result.outcome)
+            if spec is None:
+                self.tree.apply_failure(
+                    node,
+                    ExecutionError(
+                        f"{node.path}: sub-workflow finished in {sub_result.outcome!r}, "
+                        f"which {node.taskclass.name!r} does not declare"
+                    ),
+                )
+                return
+            self.tree.apply_result(
+                node,
+                TaskResult(
+                    spec.kind,
+                    sub_result.outcome,
+                    {k: v.value for k, v in sub_result.objects.items()},
+                ),
+            )
+        elif sub_result.status is WorkflowStatus.ABORTED:
+            spec = node.taskclass.output(sub_result.outcome)
+            if spec is None:
+                self.tree.apply_failure(
+                    node,
+                    ExecutionError(
+                        f"{node.path}: sub-workflow aborted in {sub_result.outcome!r}, "
+                        f"which {node.taskclass.name!r} does not declare"
+                    ),
+                )
+                return
+            self.tree.apply_result(
+                node,
+                TaskResult(
+                    spec.kind,
+                    sub_result.outcome,
+                    {k: v.value for k, v in sub_result.objects.items()},
+                ),
+            )
+        else:
+            self.tree.apply_failure(
+                node,
+                ExecutionError(
+                    f"{node.path}: sub-workflow ended {sub_result.status.value}: "
+                    f"{sub_result.error}"
+                ),
+            )
+
+
+class LocalEngine:
+    """Convenience facade: run whole workflows in one call."""
+
+    def __init__(
+        self,
+        registry: Optional[ImplementationRegistry] = None,
+        default_retries: int = 3,
+        max_repeats: int = 1000,
+        max_steps: int = 100_000,
+    ) -> None:
+        self.registry = registry or ImplementationRegistry()
+        self.default_retries = default_retries
+        self.max_repeats = max_repeats
+        self.max_steps = max_steps
+
+    def workflow(
+        self,
+        script: Script,
+        root_task: Optional[str] = None,
+        bindings: Optional[Mapping[str, object]] = None,
+    ) -> LocalWorkflow:
+        if root_task is None:
+            if len(script.tasks) != 1:
+                raise ExecutionError(
+                    f"script has {len(script.tasks)} top-level tasks; name one"
+                )
+            root_task = next(iter(script.tasks))
+        registry = self.registry.child(**(bindings or {}))
+        return LocalWorkflow(
+            script,
+            root_task,
+            registry,
+            default_retries=self.default_retries,
+            max_repeats=self.max_repeats,
+            max_steps=self.max_steps,
+        )
+
+    def run(
+        self,
+        script: Script,
+        root_task: Optional[str] = None,
+        inputs: Optional[Mapping[str, object]] = None,
+        input_set: str = "main",
+        bindings: Optional[Mapping[str, object]] = None,
+    ) -> WorkflowResult:
+        wf = self.workflow(script, root_task, bindings)
+        wf.start(inputs, input_set)
+        return wf.run_to_completion()

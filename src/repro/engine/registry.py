@@ -1,0 +1,109 @@
+"""Implementation registry: late run-time binding of task implementations.
+
+The language deliberately keeps implementations *outside* the script: a task
+instance names its implementation abstractly (``"code" is "refDispatch"``) and
+the binding to executable code happens at run time (§3) — which is how the
+paper supports online upgrade without editing scripts.
+
+A code name may resolve to:
+
+* a Python callable ``fn(ctx) -> TaskResult`` (the "executable" case), or
+* another *script* — a compound task used as the implementation (§4.4); the
+  engine runs it as a sub-workflow and maps its outcome back.
+
+Registries nest: instantiation-time bindings (the paper binds
+``refAlarmCorrelator`` etc. per instantiation) are expressed as a child
+registry overriding its parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Union
+
+from ..core.errors import BindingError
+from ..core.schema import Script
+from .context import TaskContext, TaskResult
+
+TaskCallable = Callable[[TaskContext], TaskResult]
+
+
+@dataclass(frozen=True)
+class ScriptBinding:
+    """A compound task (in ``script``, named ``task_name``) used as code."""
+
+    script: Script
+    task_name: str
+
+
+Binding = Union[TaskCallable, ScriptBinding]
+
+
+class ImplementationRegistry:
+    """Name -> implementation mapping with parent fallback."""
+
+    def __init__(self, parent: Optional["ImplementationRegistry"] = None) -> None:
+        self._bindings: Dict[str, Binding] = {}
+        self._parent = parent
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, code_name: str, fn: TaskCallable) -> "ImplementationRegistry":
+        """Bind a callable.  Re-binding an existing name is allowed — that is
+        precisely the online-upgrade mechanism."""
+        if not callable(fn):
+            raise BindingError(f"{code_name!r}: implementation must be callable")
+        self._bindings[code_name] = fn
+        return self
+
+    def register_script(
+        self, code_name: str, script: Script, task_name: Optional[str] = None
+    ) -> "ImplementationRegistry":
+        """Bind a script; ``task_name`` defaults to the script's only
+        top-level task."""
+        if task_name is None:
+            if len(script.tasks) != 1:
+                raise BindingError(
+                    f"{code_name!r}: script has {len(script.tasks)} top-level "
+                    f"tasks; specify task_name"
+                )
+            task_name = next(iter(script.tasks))
+        if task_name not in script.tasks:
+            raise BindingError(f"{code_name!r}: script has no task {task_name!r}")
+        self._bindings[code_name] = ScriptBinding(script, task_name)
+        return self
+
+    def implementation(self, code_name: str) -> Callable[[TaskCallable], TaskCallable]:
+        """Decorator form: ``@registry.implementation("refDispatch")``."""
+
+        def decorate(fn: TaskCallable) -> TaskCallable:
+            self.register(code_name, fn)
+            return fn
+
+        return decorate
+
+    # -- resolution ----------------------------------------------------------------
+
+    def resolve(self, code_name: Optional[str]) -> Binding:
+        if code_name is None:
+            raise BindingError("task has no 'code' implementation property")
+        registry: Optional[ImplementationRegistry] = self
+        while registry is not None:
+            if code_name in registry._bindings:
+                return registry._bindings[code_name]
+            registry = registry._parent
+        raise BindingError(f"no implementation registered for code {code_name!r}")
+
+    def knows(self, code_name: str) -> bool:
+        try:
+            self.resolve(code_name)
+            return True
+        except BindingError:
+            return False
+
+    def child(self, **bindings: TaskCallable) -> "ImplementationRegistry":
+        """Instantiation-time overrides layered over this registry."""
+        reg = ImplementationRegistry(parent=self)
+        for name, fn in bindings.items():
+            reg.register(name, fn)
+        return reg

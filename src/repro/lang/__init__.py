@@ -1,0 +1,42 @@
+"""The workflow scripting language front end (DESIGN.md subsystem S1).
+
+``parse`` turns source text into the schema model without semantic checks;
+``compile_script`` parses *and* validates (what the repository service runs
+on submission); ``format_script`` renders canonical source back.
+"""
+
+from ..core.errors import ParseError
+from ..core.graph import check, validate_script
+from ..core.schema import Script
+from .dot import to_dot
+from .formatter import format_script
+from .lexer import Token, TokenType, tokenize
+from .linter import LintWarning, lint_script
+from .parser import Parser, parse
+
+
+def compile_script(text: str) -> Script:
+    """Parse and semantically validate a script.
+
+    Raises :class:`~repro.core.errors.ParseError` for syntax errors and
+    :class:`~repro.core.errors.ValidationReport` for semantic ones.
+    """
+    return check(parse(text))
+
+
+__all__ = [
+    "LintWarning",
+    "ParseError",
+    "Parser",
+    "Script",
+    "Token",
+    "TokenType",
+    "check",
+    "compile_script",
+    "format_script",
+    "lint_script",
+    "parse",
+    "to_dot",
+    "tokenize",
+    "validate_script",
+]

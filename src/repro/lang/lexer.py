@@ -1,0 +1,154 @@
+"""Lexer for the workflow scripting language.
+
+Tokenizes the textual syntax of §4.  Faithful to the paper's listings:
+
+* identifiers are letters/digits/underscores (starting with a letter or _),
+* strings accept straight (``"``) **and** the typographic quotes that appear
+  throughout the paper's own listings (``“...”``),
+* ``;`` separates clauses (the parser treats it permissively),
+* ``//`` line comments and ``/* ... */`` block comments are an extension so
+  example scripts can be annotated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..core.errors import ParseError
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    STRING = "string"
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    SEMI = ";"
+    COMMA = ","
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "class",
+        "extends",
+        "taskclass",
+        "task",
+        "compoundtask",
+        "tasktemplate",
+        "parameters",
+        "implementation",
+        "is",
+        "inputs",
+        "outputs",
+        "input",
+        "output",
+        "inputobject",
+        "outputobject",
+        "notification",
+        "from",
+        "of",
+        "if",
+        "outcome",
+        "abort",
+        "repeat",
+        "mark",
+    }
+)
+
+_QUOTE_OPEN = {'"', "“"}   # " and “
+_QUOTE_CLOSE = {'"', "”"}  # " and ”
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.type.value}:{self.value!r}@{self.line}:{self.column}>"
+
+
+_SINGLE = {
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    ";": TokenType.SEMI,
+    ",": TokenType.COMMA,
+}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize a whole script; raises :class:`ParseError` on bad input."""
+    tokens: List[Token] = []
+    line, column = 1, 1
+    i, n = 0, len(text)
+
+    def advance(count: int = 1) -> None:
+        nonlocal i, line, column
+        for _ in range(count):
+            if i < n and text[i] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            i += 1
+
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            advance()
+            continue
+        if ch == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                advance()
+            continue
+        if ch == "/" and i + 1 < n and text[i + 1] == "*":
+            start_line, start_col = line, column
+            advance(2)
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                advance()
+            if i + 1 >= n:
+                raise ParseError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        if ch in _SINGLE:
+            tokens.append(Token(_SINGLE[ch], ch, line, column))
+            advance()
+            continue
+        if ch in _QUOTE_OPEN:
+            start_line, start_col = line, column
+            advance()
+            start = i
+            while i < n and text[i] not in _QUOTE_CLOSE:
+                if text[i] == "\n":
+                    raise ParseError("unterminated string", start_line, start_col)
+                advance()
+            if i >= n:
+                raise ParseError("unterminated string", start_line, start_col)
+            value = text[start:i]
+            advance()  # closing quote
+            tokens.append(Token(TokenType.STRING, value.strip(), start_line, start_col))
+            continue
+        if ch.isalpha() or ch == "_":
+            start_line, start_col = line, column
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                advance()
+            word = text[start:i]
+            kind = TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENT
+            tokens.append(Token(kind, word, start_line, start_col))
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token(TokenType.EOF, "", line, column))
+    return tokens

@@ -1,0 +1,28 @@
+"""Simulated distributed environment: virtual time, nodes, faulty network.
+
+This package is the substitute for the paper's real machines and network (see
+DESIGN.md §2).  Everything is driven by one deterministic
+:class:`~repro.net.clock.EventClock`, so any failure scenario can be replayed
+bit-for-bit.
+"""
+
+from .clock import EventClock, EventHandle, SimulationError
+from .failures import CrashEvent, FaultPlan, RandomCrasher
+from .network import LatencyModel, Message, Network, NetworkStats
+from .node import Node, NodeCrashed, Service
+
+__all__ = [
+    "CrashEvent",
+    "EventClock",
+    "EventHandle",
+    "FaultPlan",
+    "LatencyModel",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "Node",
+    "NodeCrashed",
+    "RandomCrasher",
+    "Service",
+    "SimulationError",
+]

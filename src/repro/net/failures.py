@@ -1,0 +1,119 @@
+"""Fault-injection schedules.
+
+Experiments E10/E14 need repeatable failure patterns: "crash node X at time t,
+recover it at t+d", "crash a random node every ~p time units".  These helpers
+arrange such patterns on the shared clock so benchmark code stays declarative.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .clock import EventClock
+from .node import Node
+
+
+@dataclass
+class CrashEvent:
+    """Record of one injected crash (for reporting)."""
+
+    node: str
+    crash_time: float
+    recover_time: Optional[float]
+
+
+class FaultPlan:
+    """A declarative schedule of crashes and recoveries.
+
+    Example::
+
+        plan = FaultPlan(clock)
+        plan.crash_at(node_a, when=10.0, down_for=5.0)
+        plan.crash_at(node_b, when=12.0)          # stays down
+        plan.arm()
+    """
+
+    def __init__(self, clock: EventClock) -> None:
+        self.clock = clock
+        self._pending: List[CrashEvent] = []
+        self._nodes: Dict[str, Node] = {}
+        self.history: List[CrashEvent] = []
+        self._armed = False
+
+    def crash_at(self, node: Node, when: float, down_for: Optional[float] = None) -> "FaultPlan":
+        """Crash ``node`` at virtual time ``when``; recover ``down_for`` later
+        (never, if ``down_for`` is None)."""
+        recover_time = None if down_for is None else when + down_for
+        self._pending.append(CrashEvent(node.name, when, recover_time))
+        self._nodes[node.name] = node
+        return self
+
+    def arm(self) -> None:
+        """Schedule every planned event on the clock.  Idempotent."""
+        if self._armed:
+            return
+        self._armed = True
+        for event in self._pending:
+            node = self._nodes[event.node]
+            self.clock.call_at(event.crash_time, node.crash, label=f"crash:{node.name}")
+            if event.recover_time is not None:
+                self.clock.call_at(event.recover_time, node.recover, label=f"recover:{node.name}")
+            self.history.append(event)
+
+
+class RandomCrasher:
+    """Poisson-ish random crash/recover injector for a set of nodes.
+
+    Every ``interval`` time units (exponentially distributed), one node chosen
+    uniformly at random crashes, then recovers after ``downtime``.  Runs until
+    :meth:`stop` or until ``limit`` crashes have been injected.  Deterministic
+    under a fixed seed.
+    """
+
+    def __init__(
+        self,
+        clock: EventClock,
+        nodes: Sequence[Node],
+        interval: float,
+        downtime: float,
+        seed: int = 0,
+        limit: Optional[int] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.clock = clock
+        self.nodes = list(nodes)
+        self.interval = interval
+        self.downtime = downtime
+        self.limit = limit
+        self.injected: List[CrashEvent] = []
+        self._rng = random.Random(seed)
+        self._stopped = False
+
+    def start(self) -> "RandomCrasher":
+        self._schedule_next()
+        return self
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _schedule_next(self) -> None:
+        if self._stopped:
+            return
+        if self.limit is not None and len(self.injected) >= self.limit:
+            return
+        delay = self._rng.expovariate(1.0 / self.interval)
+        self.clock.call_after(delay, self._strike, label="random-crash")
+
+    def _strike(self) -> None:
+        if self._stopped or not self.nodes:
+            return
+        node = self._rng.choice(self.nodes)
+        if node.alive:
+            node.crash()
+            recover_at = self.clock.now + self.downtime
+            self.clock.call_at(recover_at, node.recover, label=f"recover:{node.name}")
+            self.injected.append(CrashEvent(node.name, self.clock.now, recover_at))
+        self._schedule_next()

@@ -1,0 +1,154 @@
+"""Simulated message-passing network.
+
+Models the failure environment the paper's execution service must survive:
+message latency, transient message loss and network partitions.  Delivery is
+asynchronous through the shared :class:`~repro.net.clock.EventClock`, so the
+whole distributed system remains deterministic and replayable.
+
+The network delivers *datagrams*: best-effort, unordered (subject to the
+latency model), possibly dropped.  Reliable semantics (the "tasks eventually
+receive their inputs" guarantee of the paper) are built *above* this layer by
+the transactional execution service, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Optional, Set, Tuple
+
+from .clock import EventClock, SimulationError
+
+
+@dataclass(frozen=True)
+class Message:
+    """A datagram in flight."""
+
+    source: str
+    destination: str
+    payload: Any
+    sent_at: float
+
+
+@dataclass
+class LatencyModel:
+    """Per-hop latency: ``base`` plus uniform jitter in ``[0, jitter]``."""
+
+    base: float = 1.0
+    jitter: float = 0.0
+
+    def sample(self, rng: random.Random) -> float:
+        if self.jitter <= 0:
+            return self.base
+        return self.base + rng.uniform(0.0, self.jitter)
+
+
+@dataclass
+class NetworkStats:
+    """Counters maintained by :class:`Network`."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_loss: int = 0
+    dropped_partition: int = 0
+    dropped_dead: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped_loss": self.dropped_loss,
+            "dropped_partition": self.dropped_partition,
+            "dropped_dead": self.dropped_dead,
+        }
+
+
+class Network:
+    """Best-effort simulated network between named endpoints.
+
+    Endpoints register a receive callback with :meth:`attach`.  The network
+    consults its partition sets and loss rate at *send* time, samples a
+    latency, and schedules delivery on the shared clock.  A receiver that is
+    detached (e.g. its node crashed) at delivery time silently loses the
+    message — exactly the behaviour crash-recovery protocols must cope with.
+    """
+
+    def __init__(
+        self,
+        clock: EventClock,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise SimulationError(f"loss_rate must be in [0, 1), got {loss_rate!r}")
+        self.clock = clock
+        self.latency = latency or LatencyModel()
+        self.loss_rate = loss_rate
+        self.stats = NetworkStats()
+        self._rng = random.Random(seed)
+        self._endpoints: Dict[str, Callable[[Message], None]] = {}
+        self._partitions: Set[FrozenSet[str]] = set()
+
+    # -- endpoint management -------------------------------------------------
+
+    def attach(self, name: str, receiver: Callable[[Message], None]) -> None:
+        """Register ``receiver`` to handle messages addressed to ``name``."""
+        self._endpoints[name] = receiver
+
+    def detach(self, name: str) -> None:
+        """Remove an endpoint (e.g. on node crash)."""
+        self._endpoints.pop(name, None)
+
+    def is_attached(self, name: str) -> bool:
+        return name in self._endpoints
+
+    # -- partitions -----------------------------------------------------------
+
+    def partition(self, group_a: Set[str], group_b: Set[str]) -> None:
+        """Sever communication between every endpoint in ``group_a`` and every
+        endpoint in ``group_b`` (both directions)."""
+        for a in group_a:
+            for b in group_b:
+                if a != b:
+                    self._partitions.add(frozenset((a, b)))
+
+    def heal(self, group_a: Optional[Set[str]] = None, group_b: Optional[Set[str]] = None) -> None:
+        """Heal a specific partition, or all partitions when called bare."""
+        if group_a is None or group_b is None:
+            self._partitions.clear()
+            return
+        for a in group_a:
+            for b in group_b:
+                self._partitions.discard(frozenset((a, b)))
+
+    def partitioned(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) in self._partitions
+
+    # -- sending ----------------------------------------------------------------
+
+    def send(self, source: str, destination: str, payload: Any) -> None:
+        """Send a datagram.  May be silently dropped (loss, partition, dead
+        receiver); delivery order follows sampled latencies."""
+        self.stats.sent += 1
+        if self.partitioned(source, destination):
+            self.stats.dropped_partition += 1
+            return
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            self.stats.dropped_loss += 1
+            return
+        message = Message(source, destination, payload, self.clock.now)
+        delay = self.latency.sample(self._rng)
+        self.clock.call_after(delay, lambda: self._deliver(message), label=f"deliver->{destination}")
+
+    def _deliver(self, message: Message) -> None:
+        # Partition may have formed while the message was in flight.
+        if self.partitioned(message.source, message.destination):
+            self.stats.dropped_partition += 1
+            return
+        receiver = self._endpoints.get(message.destination)
+        if receiver is None:
+            self.stats.dropped_dead += 1
+            return
+        self.stats.delivered += 1
+        receiver(message)

@@ -1,0 +1,24 @@
+"""Object request broker: the CORBA analogue (see DESIGN.md §2).
+
+Interface declarations, naming, marshalled synchronous invocation with
+``CommFailure`` semantics, deferred invocation over the lossy network, and
+client-side proxies.
+"""
+
+from .broker import BadInterface, CommFailure, Interface, ObjectBroker, ObjectNotFound
+from .marshal import MarshalError, is_transferable, marshal, marshal_call, transferable
+from .proxy import Proxy
+
+__all__ = [
+    "BadInterface",
+    "CommFailure",
+    "Interface",
+    "MarshalError",
+    "ObjectBroker",
+    "ObjectNotFound",
+    "Proxy",
+    "is_transferable",
+    "marshal",
+    "marshal_call",
+    "transferable",
+]

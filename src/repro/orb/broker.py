@@ -1,0 +1,216 @@
+"""Object request broker.
+
+The paper's services are CORBA objects reached through an ORB.  Our broker
+provides the pieces the workflow system actually relies on:
+
+* **interface declarations** (IDL analogue): a named set of operations, used
+  to type-check registrations and invocations;
+* **naming**: servants registered under string names, resolvable from
+  anywhere;
+* **invocation**: synchronous request/reply with marshalled arguments and
+  results, raising :class:`CommFailure` when the caller or target node is
+  crashed or partitioned — the failure CORBA surfaces as ``COMM_FAILURE`` and
+  that the paper says applications "must be prepared to face".
+
+Invocation is modelled synchronously (the simulation's transaction code runs
+to completion within one event) but each call *accounts* a round-trip cost,
+and :meth:`ObjectBroker.invoke_deferred` offers genuinely asynchronous
+messaging where the engine needs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..net.clock import EventClock
+from ..net.network import Network
+from ..net.node import Node
+from .marshal import marshal, marshal_call
+
+
+class CommFailure(RuntimeError):
+    """Communication with the target object failed (node down / partition)."""
+
+
+class BadInterface(TypeError):
+    """Servant or invocation does not match the declared interface."""
+
+
+class ObjectNotFound(LookupError):
+    """No servant registered under the requested name."""
+
+
+@dataclass(frozen=True)
+class Interface:
+    """IDL-style interface: a name plus its operation names."""
+
+    name: str
+    operations: Tuple[str, ...]
+
+    def validate_servant(self, servant: Any) -> None:
+        missing = [op for op in self.operations if not callable(getattr(servant, op, None))]
+        if missing:
+            raise BadInterface(
+                f"servant {type(servant).__name__} does not implement "
+                f"{self.name} operations: {missing}"
+            )
+
+    def validate_operation(self, operation: str) -> None:
+        if operation not in self.operations:
+            raise BadInterface(f"interface {self.name} has no operation {operation!r}")
+
+
+@dataclass
+class _Registration:
+    name: str
+    interface: Interface
+    servant: Any
+    node: Node
+
+
+@dataclass
+class BrokerStats:
+    invocations: int = 0
+    failures: int = 0
+    simulated_rtt: float = 0.0
+
+
+class ObjectBroker:
+    """Naming + invocation for servants hosted on simulated nodes."""
+
+    def __init__(self, clock: EventClock, network: Network, rtt: float = 2.0) -> None:
+        self.clock = clock
+        self.network = network
+        self.rtt = rtt
+        self.stats = BrokerStats()
+        self._registry: Dict[str, _Registration] = {}
+
+    # -- naming -----------------------------------------------------------------
+
+    def register(self, name: str, interface: Interface, servant: Any, node: Node) -> None:
+        interface.validate_servant(servant)
+        self._registry[name] = _Registration(name, interface, servant, node)
+
+    def unregister(self, name: str) -> None:
+        self._registry.pop(name, None)
+
+    def resolve(self, name: str) -> _Registration:
+        try:
+            return self._registry[name]
+        except KeyError:
+            raise ObjectNotFound(name) from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._registry))
+
+    # -- synchronous invocation ---------------------------------------------------
+
+    def invoke(
+        self,
+        caller: Optional[Node],
+        target: str,
+        operation: str,
+        *args: Any,
+        **kwargs: Any,
+    ) -> Any:
+        """Invoke ``operation`` on the servant named ``target``.
+
+        Arguments and the result cross a marshalling boundary.  Raises
+        :class:`CommFailure` if either endpoint is down or the pair is
+        partitioned.  Exceptions raised by the servant are marshalled and
+        re-raised at the caller.
+        """
+        registration = self.resolve(target)
+        registration.interface.validate_operation(operation)
+        self.stats.invocations += 1
+        remote = caller is None or caller.name != registration.node.name
+        if remote:
+            if caller is not None and not caller.alive:
+                self.stats.failures += 1
+                raise CommFailure(f"caller node {caller.name!r} is down")
+            if not registration.node.alive:
+                self.stats.failures += 1
+                raise CommFailure(f"target node {registration.node.name!r} is down")
+            if caller is not None and self.network.partitioned(caller.name, registration.node.name):
+                self.stats.failures += 1
+                raise CommFailure(
+                    f"network partition between {caller.name!r} and {registration.node.name!r}"
+                )
+            self.stats.simulated_rtt += self.rtt
+        m_args, m_kwargs = marshal_call(args, kwargs) if remote else (args, kwargs)
+        method = getattr(registration.servant, operation)
+        result = method(*m_args, **m_kwargs)
+        return marshal(result) if remote else result
+
+    # -- deferred (asynchronous) invocation ------------------------------------------
+
+    def invoke_deferred(
+        self,
+        caller: Node,
+        target: str,
+        operation: str,
+        args: Tuple[Any, ...] = (),
+        on_reply: Optional[Callable[[Any], None]] = None,
+        on_error: Optional[Callable[[Exception], None]] = None,
+    ) -> None:
+        """Fire-and-callback invocation routed as two one-way messages through
+        the (lossy, partitionable) network.  Either callback may never run if
+        a message is lost — callers needing reliability must retry."""
+        registration = self.resolve(target)
+        registration.interface.validate_operation(operation)
+        self.stats.invocations += 1
+        m_args, _ = marshal_call(args, {})
+
+        def perform() -> None:
+            if not registration.node.alive:
+                return
+            try:
+                result = marshal(getattr(registration.servant, operation)(*m_args))
+            except Exception as exc:  # marshalled back as the error reply
+                if on_error is not None:
+                    error = exc  # bind: `exc` is cleared when the block exits
+                    self._reply(registration.node, caller, lambda: on_error(error))
+                return
+            if on_reply is not None:
+                self._reply(registration.node, caller, lambda: on_reply(result))
+
+        # request leg: rides the datagram network (loss, latency, partitions)
+        if not caller.alive:
+            raise CommFailure(f"caller node {caller.name!r} is down")
+        self._datagram(caller, registration.node, perform, f"orb-req:{target}.{operation}")
+
+    def _reply(self, from_node: Node, to_node: Node, deliver: Callable[[], None]) -> None:
+        def guarded() -> None:
+            if to_node.alive:
+                deliver()
+
+        self._datagram(from_node, to_node, guarded, "orb-reply")
+
+    def _datagram(
+        self, from_node: Node, to_node: Node, deliver: Callable[[], None], label: str
+    ) -> None:
+        """One unreliable message leg with the network's failure model."""
+        net = self.network
+        net.stats.sent += 1
+        if net.partitioned(from_node.name, to_node.name):
+            net.stats.dropped_partition += 1
+            self.stats.failures += 1
+            return
+        if net.loss_rate > 0.0 and net._rng.random() < net.loss_rate:
+            net.stats.dropped_loss += 1
+            self.stats.failures += 1
+            return
+        delay = net.latency.sample(net._rng)
+
+        def attempt() -> None:
+            if net.partitioned(from_node.name, to_node.name):
+                net.stats.dropped_partition += 1
+                return
+            if not to_node.alive:
+                net.stats.dropped_dead += 1
+                return
+            net.stats.delivered += 1
+            deliver()
+
+        self.clock.call_after(delay, attempt, label=label)

@@ -1,0 +1,76 @@
+"""Marshalling for ORB invocations.
+
+CORBA invocations copy values across the wire; object references pass by
+reference.  We reproduce that boundary so services cannot accidentally share
+mutable in-memory state: every argument and result is structurally copied by
+:func:`marshal`, and anything that cannot legitimately cross (open handles,
+arbitrary class instances that are not declared transferable) raises
+:class:`MarshalError`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Set, Tuple, Type
+
+_PRIMITIVES = (type(None), bool, int, float, str, bytes)
+
+# Types explicitly allowed to cross the wire by structural copy.
+_TRANSFERABLE: Set[type] = set()
+
+
+class MarshalError(TypeError):
+    """A value cannot be marshalled across the ORB."""
+
+
+def transferable(cls: Type) -> Type:
+    """Class decorator / registration: instances may cross ORB boundaries.
+
+    Dataclasses are copied field-by-field; other classes must provide
+    ``__marshal__() -> dict`` and ``__unmarshal__(cls, state)``.
+    """
+    _TRANSFERABLE.add(cls)
+    return cls
+
+
+def is_transferable(cls: Type) -> bool:
+    return cls in _TRANSFERABLE
+
+
+def marshal(value: Any, _depth: int = 0) -> Any:
+    """Return a structural copy of ``value`` suitable for the far side."""
+    if _depth > 100:
+        raise MarshalError("value too deeply nested (possible cycle)")
+    if isinstance(value, _PRIMITIVES):
+        return value
+    if isinstance(value, (list, tuple)):
+        copied = [marshal(v, _depth + 1) for v in value]
+        return type(value)(copied)
+    if isinstance(value, (set, frozenset)):
+        return type(value)(marshal(v, _depth + 1) for v in value)
+    if isinstance(value, dict):
+        return {
+            marshal(k, _depth + 1): marshal(v, _depth + 1) for k, v in value.items()
+        }
+    cls = type(value)
+    if cls in _TRANSFERABLE:
+        if hasattr(value, "__marshal__"):
+            state = marshal(value.__marshal__(), _depth + 1)
+            return cls.__unmarshal__(state)
+        if dataclasses.is_dataclass(value):
+            fields = {
+                f.name: marshal(getattr(value, f.name), _depth + 1)
+                for f in dataclasses.fields(value)
+            }
+            return cls(**fields)
+    if isinstance(value, Exception):
+        # Exceptions cross the wire so remote errors surface at the caller.
+        return cls(*[marshal(a, _depth + 1) for a in value.args])
+    raise MarshalError(
+        f"{cls.__module__}.{cls.__qualname__} is not transferable across the ORB"
+    )
+
+
+def marshal_call(args: Tuple[Any, ...], kwargs: Dict[str, Any]) -> Tuple[Tuple[Any, ...], Dict[str, Any]]:
+    """Marshal a full argument list."""
+    return tuple(marshal(a) for a in args), {k: marshal(v) for k, v in kwargs.items()}

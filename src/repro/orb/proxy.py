@@ -1,0 +1,42 @@
+"""Client-side proxies (CORBA stub analogue).
+
+A :class:`Proxy` is bound to a caller node and a target object name; attribute
+access returns a callable that performs a synchronous broker invocation, so
+client code reads like a local call::
+
+    repo = Proxy(broker, caller=client_node, target="repository")
+    repo.store_script("order", text)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..net.node import Node
+from .broker import ObjectBroker
+
+
+class Proxy:
+    """Forward method calls on ``target`` through the broker."""
+
+    def __init__(self, broker: ObjectBroker, caller: Optional[Node], target: str) -> None:
+        # Set via object.__setattr__-free plain attributes; __getattr__ only
+        # fires for *missing* attributes, so these stay directly accessible.
+        self._broker = broker
+        self._caller = caller
+        self._target = target
+
+    def __getattr__(self, operation: str) -> Callable[..., Any]:
+        if operation.startswith("_"):
+            raise AttributeError(operation)
+        broker, caller, target = self._broker, self._caller, self._target
+        broker.resolve(target).interface.validate_operation(operation)
+
+        def call(*args: Any, **kwargs: Any) -> Any:
+            return broker.invoke(caller, target, operation, *args, **kwargs)
+
+        call.__name__ = operation
+        return call
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Proxy {self._target} from {self._caller.name if self._caller else '?'}>"

@@ -1,0 +1,184 @@
+"""Administrative applications, themselves expressed as workflows.
+
+The paper (§3) points out that its management tools — instantiating,
+monitoring and dynamically reconfiguring workflows — are *themselves*
+workflow applications, which makes them fault-tolerant "without any extra
+effort".  This module reproduces that: a monitoring workflow whose task polls
+a target instance through the execution service and loops via a *repeat
+outcome* until the target terminates, and a reconfiguration workflow that
+applies a schema change as a task.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..engine import ImplementationRegistry, outcome, repeat
+from ..lang import compile_script
+from .system import TERMINAL, WorkflowSystem
+
+MONITOR_SCRIPT = """
+class InstanceId;
+class Report;
+
+taskclass MonitorApplication
+{
+    inputs { input main { instance of class InstanceId } };
+    outputs { outcome finished { report of class Report } }
+};
+
+taskclass CheckStatus
+{
+    inputs { input main { instance of class InstanceId } };
+    outputs
+    {
+        outcome terminal { report of class Report };
+        repeat outcome poll { }
+    }
+};
+
+compoundtask monitorApplication of taskclass MonitorApplication
+{
+    task checkStatus of taskclass CheckStatus
+    {
+        implementation { "code" is "refCheckStatus" };
+        inputs
+        {
+            input main
+            {
+                inputobject instance from
+                {
+                    instance of task monitorApplication if input main
+                }
+            }
+        }
+    };
+    outputs
+    {
+        outcome finished
+        {
+            outputobject report from
+            {
+                report of task checkStatus if output terminal
+            }
+        }
+    }
+};
+"""
+
+RECONFIGURE_SCRIPT = """
+class InstanceId;
+class ScriptText;
+class Report;
+
+taskclass ReconfigureApplication
+{
+    inputs
+    {
+        input main
+        {
+            instance of class InstanceId;
+            script of class ScriptText
+        }
+    };
+    outputs
+    {
+        outcome applied { report of class Report };
+        outcome rejected { report of class Report }
+    }
+};
+
+taskclass ApplyChange
+{
+    inputs
+    {
+        input main
+        {
+            instance of class InstanceId;
+            script of class ScriptText
+        }
+    };
+    outputs
+    {
+        outcome changed { report of class Report };
+        outcome refused { report of class Report }
+    }
+};
+
+compoundtask reconfigureApplication of taskclass ReconfigureApplication
+{
+    task applyChange of taskclass ApplyChange
+    {
+        implementation { "code" is "refApplyChange" };
+        inputs
+        {
+            input main
+            {
+                inputobject instance from
+                {
+                    instance of task reconfigureApplication if input main
+                };
+                inputobject script from
+                {
+                    script of task reconfigureApplication if input main
+                }
+            }
+        }
+    };
+    outputs
+    {
+        outcome applied
+        {
+            outputobject report from { report of task applyChange if output changed }
+        };
+        outcome rejected
+        {
+            outputobject report from { report of task applyChange if output refused }
+        }
+    }
+};
+"""
+
+
+def admin_registry(
+    system: WorkflowSystem,
+    max_polls: int = 10_000,
+    registry: Optional[ImplementationRegistry] = None,
+) -> ImplementationRegistry:
+    """Bind the administrative task implementations against a live system.
+
+    The implementations talk to the execution service through its ORB proxy
+    from the client node — the same path the paper's Java applets take.
+    """
+    reg = registry or ImplementationRegistry()
+    execution = system.execution_proxy()
+
+    @reg.implementation("refCheckStatus")
+    def check_status(ctx):
+        status = execution.status(ctx.value("instance"))
+        if status["status"] in TERMINAL:
+            return outcome(
+                "terminal",
+                report=f"{status['instance']}:{status['status']}:{status['outcome']}",
+            )
+        if ctx.repeats + 1 >= max_polls:
+            return outcome("terminal", report=f"{status['instance']}:timeout")
+        return repeat("poll")
+
+    @reg.implementation("refApplyChange")
+    def apply_change(ctx):
+        try:
+            execution.reconfigure(ctx.value("instance"), ctx.value("script"))
+        except Exception as exc:
+            return outcome("refused", report=f"refused: {exc}")
+        return outcome("changed", report="applied")
+
+    return reg
+
+
+def build_monitor():
+    return compile_script(MONITOR_SCRIPT)
+
+
+def build_reconfigure():
+    return compile_script(RECONFIGURE_SCRIPT)

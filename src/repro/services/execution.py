@@ -1,0 +1,774 @@
+"""Workflow Execution Service (paper Fig. 4).
+
+Coordinates workflow instances with the paper's system-level guarantees:
+
+* **Durable coordination state.**  Everything needed to reconstruct an
+  instance — script text, initial inputs, and a journal of task results,
+  marks, failures, reconfigurations and forced aborts — is recorded in
+  persistent atomic objects under transactions *before* it takes effect on
+  the in-memory instance tree.  This is the paper's "records inter-task
+  dependencies in persistent atomic objects and uses atomic transactions for
+  propagating coordination information".
+* **Crash recovery.**  After a node crash, :meth:`on_recover` replays each
+  instance's journal over a fresh tree; because scheduling is deterministic,
+  the rebuilt tree reaches exactly the pre-crash state, and still-unfinished
+  tasks are re-dispatched.
+* **At-least-once dispatch, exactly-once application.**  Tasks are dispatched
+  to worker nodes through deferred ORB invocations (which ride the lossy
+  network); a periodic sweeper re-dispatches anything unanswered, rotating
+  workers; duplicate replies are deduplicated against the journal.
+* **Automatic retries** of tasks that fail for system-level reasons, with the
+  retry budget from the task's ``retries`` implementation property (§3).
+
+Setting ``durable=False`` turns the journal volatile — the ablation of
+experiment E14: without transactional propagation, crashes lose instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..core.errors import ExecutionError, WorkflowError
+from ..core.schema import Script
+from ..core.values import ObjectRef
+from ..engine.events import WorkflowStatus
+from ..engine.instance import InstanceTree, TaskNode
+from ..lang import compile_script
+from ..net.node import Message, Service
+from ..orb.broker import CommFailure, Interface, ObjectBroker
+from ..txn.manager import TransactionManager
+from ..txn.store import ObjectStore
+from .serialization import (
+    refs_from_plain,
+    refs_to_plain,
+    result_from_plain,
+    result_to_plain,
+    taskclass_from_plain,
+    taskclass_to_plain,
+)
+from .worker import WorkRequest
+
+EXECUTION_INTERFACE = Interface(
+    "WorkflowExecution",
+    (
+        "instantiate",
+        "status",
+        "result",
+        "list_instances",
+        "reconfigure",
+        "force_abort",
+        "complete_task",
+        "external_tasks",
+        "trace",
+        "tasks",
+        "compact",
+        "export_instance",
+        "import_instance",
+    ),
+)
+
+
+@dataclass
+class _InFlight:
+    request: Dict[str, Any]
+    dispatched_at: float
+    redispatches: int = 0
+    sent: bool = False
+
+
+@dataclass
+class _Runtime:
+    """Volatile per-instance state (rebuilt from the journal on recovery)."""
+
+    iid: str
+    script: Script
+    tree: InstanceTree
+    journal_keys: Set[Tuple] = field(default_factory=set)
+    in_flight: Dict[Tuple[str, int], _InFlight] = field(default_factory=dict)
+    volatile_journal: List[Dict[str, Any]] = field(default_factory=list)
+    armed_deadlines: Set[Tuple[str, int]] = field(default_factory=set)
+    external: Set[Tuple[str, int]] = field(default_factory=set)  # parked tasks
+    # Monotonic execution numbering per task path.  machine.starts is NOT
+    # unique across compound repeat rounds (children are rebuilt fresh), so
+    # journal keys use this counter; replay reproduces it deterministically.
+    exec_counter: Dict[str, int] = field(default_factory=dict)
+    live_exec: Dict[str, int] = field(default_factory=dict)
+
+
+class ExecutionService(Service):
+    """The workflow execution service servant."""
+
+    def __init__(
+        self,
+        name: str,
+        store: ObjectStore,
+        broker: ObjectBroker,
+        repository_name: str,
+        worker_names: List[str],
+        durable: bool = True,
+        dispatch_timeout: float = 30.0,
+        sweep_interval: float = 10.0,
+    ) -> None:
+        super().__init__(name)
+        self.store = store
+        self.broker = broker
+        self.repository_name = repository_name
+        self.worker_names = list(worker_names)
+        self.durable = durable
+        self.dispatch_timeout = dispatch_timeout
+        self.sweep_interval = sweep_interval
+        self.manager = TransactionManager(f"{name}-tm")
+        self.runtimes: Dict[str, _Runtime] = {}
+        self.stats = {"dispatches": 0, "redispatches": 0, "duplicate_replies": 0, "recoveries": 0}
+
+    # -- life-cycle -------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self._arm_sweeper()
+
+    def on_recover(self) -> None:
+        """Rebuild every instance from its durable journal (the crux of the
+        paper's fault-tolerance story)."""
+        self.stats["recoveries"] += 1
+        self.runtimes = {}
+        if self.durable:
+            for iid in self.store.get_committed("instance-index", []):
+                runtime = self._replay(iid)
+                if runtime is not None:
+                    self.runtimes[iid] = runtime
+                    for key, flight in list(runtime.in_flight.items()):
+                        self._send(runtime, key, flight)
+                    self._arm_deadlines(runtime)
+        self._arm_sweeper()
+
+    # -- ORB operations ---------------------------------------------------------------------
+
+    def instantiate(
+        self,
+        script_name: str,
+        root_task: str,
+        input_set: str = "main",
+        inputs: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Create and start a workflow instance from a stored script."""
+        text = self.broker.invoke(
+            self.node, self.repository_name, "get_script", script_name
+        )
+        script = compile_script(text)
+        if self.durable:
+            counter = self.store.get_committed("instance-counter", 0) + 1
+        else:
+            self._volatile_counter = getattr(self, "_volatile_counter", 0) + 1
+            counter = self._volatile_counter
+        iid = f"wf-{counter}"
+        meta = {
+            "script_text": text,
+            "root_task": root_task,
+            "input_set": input_set,
+            "inputs": dict(inputs or {}),
+            "journal_len": 0,
+        }
+        if self.durable:
+            def body(txn) -> None:
+                txn.write(self.store, "instance-counter", counter)
+                index = list(txn.read(self.store, "instance-index", []))
+                index.append(iid)
+                txn.write(self.store, "instance-index", index)
+                txn.write(self.store, f"instance:{iid}:meta", meta)
+
+            self.manager.run(body)
+        runtime = self._fresh_runtime(iid, script, meta)
+        self.runtimes[iid] = runtime
+        self._dispatch_pending(runtime)
+        return iid
+
+    def status(self, iid: str) -> Dict[str, Any]:
+        runtime = self._runtime(iid)
+        tree = runtime.tree
+        status = tree.status
+        if (
+            status is WorkflowStatus.RUNNING
+            and not runtime.in_flight
+            and not runtime.external
+            and not tree.has_work()
+        ):
+            status = WorkflowStatus.STALLED
+        return {
+            "instance": iid,
+            "status": status.value,
+            "outcome": tree.root.machine.outcome,
+            "error": tree.error,
+            "events": len(tree.log),
+            "in_flight": len(runtime.in_flight),
+            "awaiting_external": len(runtime.external),
+        }
+
+    def result(self, iid: str) -> Dict[str, Any]:
+        runtime = self._runtime(iid)
+        tree = runtime.tree
+        objects: Dict[str, Any] = {}
+        marks: List[Dict[str, Any]] = []
+        from ..core.selection import EventKind
+
+        for entry in tree.log.entries:
+            if entry.producer_path != tree.root.path:
+                continue
+            if entry.event.kind in (EventKind.OUTCOME, EventKind.ABORT):
+                objects = refs_to_plain(entry.event.objects)
+            elif entry.event.kind is EventKind.MARK:
+                marks.append({"name": entry.event.name, "objects": refs_to_plain(entry.event.objects)})
+        return {
+            "instance": iid,
+            "status": tree.status.value,
+            "outcome": tree.root.machine.outcome,
+            "objects": objects,
+            "marks": marks,
+            "error": tree.error,
+        }
+
+    def list_instances(self) -> List[str]:
+        return sorted(self.runtimes)
+
+    def reconfigure(self, iid: str, new_script_text: str) -> bool:
+        """Atomically apply a modified script to the *running* instance."""
+        runtime = self._runtime(iid)
+        new_script = compile_script(new_script_text)
+        runtime.tree.reconfigure(new_script)  # raises without effect if illegal
+        runtime.script = new_script
+        self._journal(runtime, {"type": "reconfig", "script_text": new_script_text})
+        self._dispatch_pending(runtime)
+        return True
+
+    def force_abort(self, iid: str, task_path: str, abort_name: Optional[str] = None) -> bool:
+        runtime = self._runtime(iid)
+        runtime.tree.force_abort(task_path, abort_name)
+        self._journal(
+            runtime, {"type": "force_abort", "path": task_path, "name": abort_name}
+        )
+        self._dispatch_pending(runtime)
+        return True
+
+    def external_tasks(self, iid: str) -> List[str]:
+        """Paths of tasks parked awaiting an external completion."""
+        return sorted(path for path, _exec in self._runtime(iid).external)
+
+    def tasks(self, iid: str) -> List[Dict[str, Any]]:
+        """Per-task-instance states: the admin console's detail view."""
+        runtime = self._runtime(iid)
+        rows: List[Dict[str, Any]] = []
+        for node in runtime.tree.walk():
+            rows.append(
+                {
+                    "path": node.path,
+                    "taskclass": node.taskclass.name,
+                    "compound": node.is_compound,
+                    "state": node.machine.state.value,
+                    "outcome": node.machine.outcome,
+                    "starts": node.machine.starts,
+                    "repeats": node.machine.repeats,
+                    "marks": list(node.machine.marks_emitted),
+                    "in_flight": (node.path, runtime.live_exec.get(node.path))
+                    in runtime.in_flight,
+                    "awaiting_external": (node.path, runtime.live_exec.get(node.path))
+                    in runtime.external,
+                }
+            )
+        return rows
+
+    def trace(self, iid: str) -> str:
+        """Human-readable chronological trace (the Fig. 4 monitoring view)."""
+        from ..engine.trace import render_trace
+
+        return render_trace(self._runtime(iid).tree.log)
+
+    def export_instance(self, iid: str) -> Dict[str, Any]:
+        """Portable snapshot of an instance: its meta + full journal.
+
+        Because the journal is the instance (everything else replays
+        deterministically), this is all another execution service needs to
+        adopt the workflow — coordinator migration, the strongest form of
+        the paper's "services being moved" motivation.
+        """
+        runtime = self._runtime(iid)
+        if self.durable:
+            meta = self.store.get_committed(f"instance:{iid}:meta")
+            journal = [
+                self.store.get_committed(f"instance:{iid}:journal:{n}")
+                for n in range(meta["journal_len"])
+            ]
+        else:
+            meta = None
+            journal = list(runtime.volatile_journal)
+        if meta is None:
+            raise ExecutionError(f"{iid}: no durable state to export")
+        return {"instance": iid, "meta": dict(meta), "journal": journal}
+
+    def import_instance(self, snapshot: Dict[str, Any]) -> str:
+        """Adopt an exported instance: persist its state locally, replay the
+        journal, resume scheduling.  The id is preserved; importing an id
+        this service already runs is refused."""
+        iid = snapshot["instance"]
+        if iid in self.runtimes:
+            raise ExecutionError(f"{iid}: already present on this execution service")
+        meta = dict(snapshot["meta"])
+        journal = list(snapshot["journal"])
+        meta["journal_len"] = len(journal)
+        if self.durable:
+            def body(txn) -> None:
+                index = list(txn.read(self.store, "instance-index", []))
+                if iid not in index:
+                    index.append(iid)
+                    txn.write(self.store, "instance-index", index)
+                txn.write(self.store, f"instance:{iid}:meta", meta)
+                for n, entry in enumerate(journal):
+                    txn.write(self.store, f"instance:{iid}:journal:{n}", entry)
+
+            self.manager.run(body)
+            runtime = self._replay(iid)
+        else:
+            runtime = self._replay_from(iid, meta, journal)
+            runtime.volatile_journal = journal
+        self.runtimes[iid] = runtime
+        for key, flight in list(runtime.in_flight.items()):
+            self._send(runtime, key, flight)
+        self._arm_deadlines(runtime)
+        return iid
+
+    def compact(self) -> int:
+        """Checkpoint the durable store: fold the WAL into a snapshot.
+
+        Long-running instances accumulate journal entries; compaction bounds
+        recovery time without losing any instance (the journal entries are
+        ordinary committed objects, so they live inside the checkpoint).
+        Returns the number of live log records after compaction.
+        """
+        if self.durable:
+            self.store.checkpoint()
+        return len(self.store.wal)
+
+    def complete_task(
+        self,
+        iid: str,
+        task_path: str,
+        output_name: str,
+        objects: Optional[Dict[str, Any]] = None,
+    ) -> bool:
+        """Supply the outcome of a parked external task (§1's interactive
+        tasks).  Journaled like a worker result, so it survives crashes."""
+        runtime = self._runtime(iid)
+        node = runtime.tree.node_at(task_path)
+        exec_index = runtime.live_exec.get(task_path, 0)
+        if (task_path, exec_index) not in runtime.external:
+            raise ExecutionError(f"{task_path}: not awaiting an external completion")
+        spec = node.taskclass.output(output_name)
+        if spec is None:
+            raise ExecutionError(
+                f"{task_path}: taskclass {node.taskclass.name!r} has no output "
+                f"{output_name!r}"
+            )
+        from ..engine.context import TaskResult
+
+        result = TaskResult(spec.kind, output_name, dict(objects or {}))
+        entry = {
+            "type": "result",
+            "path": task_path,
+            "exec": exec_index,
+            "result": result_to_plain(result),
+        }
+        self._journal(runtime, entry)
+        runtime.external.discard((task_path, exec_index))
+        self._apply_entry(runtime, entry)
+        self._dispatch_pending(runtime)
+        return True
+
+    # -- dispatching -------------------------------------------------------------------------
+
+    def _fresh_runtime(self, iid: str, script: Script, meta: Dict[str, Any]) -> _Runtime:
+        tree = InstanceTree(script, meta["root_task"], now=self._now)
+        runtime = _Runtime(iid, script, tree)
+        tree.start(meta["input_set"], meta["inputs"])
+        self._drain(runtime)
+        return runtime
+
+    def _now(self) -> float:
+        return self.node.clock.now if self.node is not None else 0.0
+
+    def _drain(self, runtime: _Runtime) -> None:
+        """Begin execution of every ready task; queue the work requests."""
+        while True:
+            node = runtime.tree.take_ready()
+            if node is None:
+                break
+            input_set, inputs = runtime.tree.begin_execution(node)
+            exec_index = runtime.exec_counter.get(node.path, 0) + 1
+            runtime.exec_counter[node.path] = exec_index
+            runtime.live_exec[node.path] = exec_index
+            request = WorkRequest(
+                instance_id=runtime.iid,
+                task_path=node.path,
+                execution_index=exec_index,
+                taskclass=taskclass_to_plain(node.taskclass),
+                code=node.decl.implementation.code,
+                input_set=input_set,
+                inputs=refs_to_plain(inputs),
+                properties=node.decl.implementation.as_dict(),
+                attempt=node.attempt + 1,
+                repeats=node.machine.repeats,
+                reply_to=self.node.name if self.node else "",
+            ).to_plain()
+            runtime.in_flight[(node.path, exec_index)] = _InFlight(
+                request, self._now()
+            )
+
+    def _dispatch_pending(self, runtime: _Runtime) -> None:
+        self._drain(runtime)
+        for key, flight in list(runtime.in_flight.items()):
+            if not flight.sent:
+                self._send(runtime, key, flight)
+        self._arm_deadlines(runtime)
+
+    def _arm_deadlines(self, runtime: _Runtime) -> None:
+        """Fig. 3's abort-from-WAIT by timer: a task whose ``deadline``
+        implementation property expires while it still waits for inputs is
+        force-aborted into its first abort outcome.  The abort is journaled,
+        so recovery replays it; timers themselves are volatile and re-armed
+        (with a fresh full deadline — a documented simplification) after a
+        crash."""
+        if self.node is None or not self.node.alive:
+            return
+        from ..core.schema import OutputKind
+        from ..core.states import TaskState
+
+        for node in runtime.tree.walk():
+            raw = node.decl.implementation.get("deadline")
+            if raw is None or node.machine.state is not TaskState.WAIT:
+                continue
+            if not node.taskclass.outputs_of_kind(OutputKind.ABORT):
+                continue
+            # key by the per-path execution counter, which is unique across
+            # compound repeat rounds (machine.starts is not)
+            key = (node.path, runtime.exec_counter.get(node.path, 0))
+            if key in runtime.armed_deadlines:
+                continue
+            try:
+                delay = float(raw)
+            except ValueError:
+                continue
+            runtime.armed_deadlines.add(key)
+
+            def fire(
+                runtime=runtime,
+                path=node.path,
+                count=runtime.exec_counter.get(node.path, 0),
+            ) -> None:
+                if runtime is not self.runtimes.get(runtime.iid):
+                    return  # superseded by a recovery replay
+                if runtime.tree.status.value != "running":
+                    return
+                try:
+                    live = runtime.tree.node_at(path)
+                except Exception:
+                    return
+                if (
+                    not live.alive
+                    or live.machine.state is not TaskState.WAIT
+                    or runtime.exec_counter.get(path, 0) != count
+                ):
+                    return
+                runtime.tree.force_abort(path)
+                self._journal(
+                    runtime, {"type": "force_abort", "path": path, "name": None}
+                )
+                self._dispatch_pending(runtime)
+
+            self.node.call_after(delay, fire, label=f"deadline:{node.path}")
+
+    def _send(self, runtime: _Runtime, key: Tuple[str, int], flight: _InFlight) -> None:
+        if flight.request.get("code") == "system.timer":
+            self._arm_timer_task(runtime, key, flight)
+            return
+        if not self.worker_names:
+            raise ExecutionError("no workers configured")
+        import zlib
+
+        # The `location` implementation property pins a task to a worker
+        # (§4.3's placement keywords); after the first re-dispatch the pin is
+        # abandoned so a dead pinned worker cannot stall the workflow.
+        pinned = flight.request.get("properties", {}).get("location")
+        if pinned in self.worker_names and flight.redispatches == 0:
+            worker = pinned
+        else:
+            stable = zlib.crc32(f"{runtime.iid}:{key[0]}:{key[1]}".encode())
+            index = (stable + flight.redispatches) % len(self.worker_names)
+            worker = self.worker_names[index]
+        flight.dispatched_at = self._now()
+        flight.sent = True
+        self.stats["dispatches"] += 1
+        try:
+            self.broker.invoke_deferred(
+                self.node,
+                worker,
+                "execute",
+                (flight.request,),
+                on_reply=lambda reply, iid=runtime.iid: self._handle_reply(iid, reply),
+            )
+        except CommFailure:
+            pass  # sweeper retries
+
+    def _arm_timer_task(self, runtime: _Runtime, key: Tuple[str, int], flight: _InFlight) -> None:
+        """Built-in timer tasks (§4.2: "a set for an exceptional input such
+        as a timer enabling a task to wait for normal inputs with a
+        timeout").
+
+        A task whose implementation names the reserved code ``system.timer``
+        never goes to a worker: the execution service fires its first
+        declared outcome after the ``delay`` property elapses.  The firing
+        goes through the ordinary reply path, so it is journaled and
+        crash-safe; after a recovery the in-flight timer is simply re-armed.
+        """
+        flight.sent = True
+        try:
+            delay = float(flight.request.get("properties", {}).get("delay", "0"))
+        except ValueError:
+            delay = 0.0
+        # keep the sweeper quiet until the timer is genuinely overdue
+        flight.dispatched_at = self._now() + delay
+        taskclass = taskclass_from_plain(flight.request["taskclass"])
+        outcomes = [o for o in taskclass.outputs if o.kind.name == "OUTCOME"]
+        if not outcomes:
+            reply = {
+                "instance_id": runtime.iid,
+                "task_path": key[0],
+                "execution_index": key[1],
+                "ok": False,
+                "error": "system.timer task class declares no outcome",
+                "marks": [],
+            }
+            self.node.call_after(max(delay, 0.0), lambda: self._handle_reply(runtime.iid, reply))
+            return
+        from ..engine.context import TaskResult
+        from ..core.schema import OutputKind
+
+        result = TaskResult(OutputKind.OUTCOME, outcomes[0].name, {})
+        reply = {
+            "instance_id": runtime.iid,
+            "task_path": key[0],
+            "execution_index": key[1],
+            "ok": True,
+            "result": result_to_plain(result),
+            "marks": [],
+            "error": None,
+        }
+        self.node.call_after(
+            max(delay, 0.0),
+            lambda: self._handle_reply(runtime.iid, reply),
+            label=f"timer-task:{key[0]}",
+        )
+
+    def _arm_sweeper(self) -> None:
+        if self.node is None or not self.node.alive:
+            return
+
+        def sweep() -> None:
+            now = self._now()
+            for runtime in self.runtimes.values():
+                for key, flight in list(runtime.in_flight.items()):
+                    if now - flight.dispatched_at >= self.dispatch_timeout:
+                        flight.redispatches += 1
+                        self.stats["redispatches"] += 1
+                        self._send(runtime, key, flight)
+            self._arm_sweeper()
+
+        self.node.call_after(self.sweep_interval, sweep, label=f"{self.name}-sweep")
+
+    # -- replies and marks ----------------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, dict) and payload.get("type") == "mark":
+            self._handle_mark(payload)
+
+    def _handle_mark(self, payload: Dict[str, Any]) -> None:
+        runtime = self.runtimes.get(payload.get("instance_id", ""))
+        if runtime is None:
+            return
+        key = ("mark", payload["task_path"], payload["execution_index"], payload["name"])
+        if key in runtime.journal_keys:
+            return
+        entry = {
+            "type": "mark",
+            "path": payload["task_path"],
+            "exec": payload["execution_index"],
+            "name": payload["name"],
+            "objects": payload["objects"],
+        }
+        self._journal(runtime, entry)
+        self._apply_mark(runtime, entry)
+        self._dispatch_pending(runtime)
+
+    def _handle_reply(self, iid: str, reply: Dict[str, Any]) -> None:
+        runtime = self.runtimes.get(iid)
+        if runtime is None:
+            return
+        path = reply["task_path"]
+        exec_index = reply["execution_index"]
+        flight_key = (path, exec_index)
+        journal_key = ("result", path, exec_index)
+        if journal_key in runtime.journal_keys:
+            self.stats["duplicate_replies"] += 1
+            return
+        # marks carried in the reply (the datagram copies may have been lost)
+        for mark in reply.get("marks", ()):
+            mark_key = ("mark", path, exec_index, mark["name"])
+            if mark_key in runtime.journal_keys:
+                continue
+            entry = {
+                "type": "mark",
+                "path": path,
+                "exec": exec_index,
+                "name": mark["name"],
+                "objects": mark["objects"],
+            }
+            self._journal(runtime, entry)
+            self._apply_mark(runtime, entry)
+        if reply.get("ok") and reply.get("external"):
+            # the task parked itself awaiting an external completion; stop
+            # the sweeper from re-dispatching it and remember it durably
+            if (path, exec_index) in runtime.external:
+                self.stats["duplicate_replies"] += 1
+                return
+            entry = {"type": "external", "path": path, "exec": exec_index}
+            self._journal(runtime, entry)
+            runtime.in_flight.pop(flight_key, None)
+            runtime.external.add((path, exec_index))
+            return
+        if reply.get("ok"):
+            entry = {
+                "type": "result",
+                "path": path,
+                "exec": exec_index,
+                "result": reply["result"],
+            }
+        else:
+            entry = {
+                "type": "failure",
+                "path": path,
+                "exec": exec_index,
+                "error": reply.get("error", "unknown"),
+            }
+        self._journal(runtime, entry)
+        runtime.in_flight.pop(flight_key, None)
+        self._apply_entry(runtime, entry)
+        self._dispatch_pending(runtime)
+
+    # -- journal ----------------------------------------------------------------------------------
+
+    def _journal(self, runtime: _Runtime, entry: Dict[str, Any]) -> None:
+        runtime.journal_keys.add(self._entry_key(entry))
+        if not self.durable:
+            runtime.volatile_journal.append(entry)
+            return
+        meta_key = f"instance:{runtime.iid}:meta"
+
+        def body(txn) -> None:
+            meta = dict(txn.read(self.store, meta_key))
+            n = meta["journal_len"]
+            txn.write(self.store, f"instance:{runtime.iid}:journal:{n}", entry)
+            meta["journal_len"] = n + 1
+            txn.write(self.store, meta_key, meta)
+
+        self.manager.run(body)
+
+    @staticmethod
+    def _entry_key(entry: Dict[str, Any]) -> Tuple:
+        if entry["type"] == "mark":
+            return ("mark", entry["path"], entry["exec"], entry["name"])
+        if entry["type"] in ("result", "failure"):
+            return ("result", entry["path"], entry["exec"])
+        return (entry["type"], id(entry))
+
+    def _apply_mark(self, runtime: _Runtime, entry: Dict[str, Any]) -> None:
+        try:
+            node = runtime.tree.node_at(entry["path"])
+        except ExecutionError:
+            return
+        if runtime.live_exec.get(entry["path"]) != entry["exec"]:
+            return  # stale mark from a superseded execution
+        runtime.tree.apply_mark(node, entry["name"], refs_from_plain(entry["objects"]))
+
+    def _apply_entry(self, runtime: _Runtime, entry: Dict[str, Any]) -> None:
+        kind = entry["type"]
+        if kind == "mark":
+            self._apply_mark(runtime, entry)
+            return
+        if kind == "reconfig":
+            new_script = compile_script(entry["script_text"])
+            runtime.tree.reconfigure(new_script)
+            runtime.script = new_script
+            return
+        if kind == "force_abort":
+            runtime.tree.force_abort(entry["path"], entry.get("name"))
+            return
+        try:
+            node = runtime.tree.node_at(entry["path"])
+        except ExecutionError:
+            return
+        if runtime.live_exec.get(entry["path"]) != entry["exec"]:
+            return  # stale: a newer execution of this path supersedes it
+        if kind == "result":
+            try:
+                runtime.tree.apply_result(node, result_from_plain(entry["result"]))
+            except ExecutionError as exc:
+                # the result did not match the task class signature: treat it
+                # as a system failure (deterministic at replay too)
+                runtime.tree.apply_failure(node, exc)
+        elif kind == "failure":
+            runtime.tree.apply_failure(node, WorkflowError(entry["error"]))
+
+    # -- recovery -----------------------------------------------------------------------------------
+
+    def _replay(self, iid: str) -> Optional[_Runtime]:
+        meta = self.store.get_committed(f"instance:{iid}:meta")
+        if meta is None:
+            return None
+        journal = [
+            self.store.get_committed(f"instance:{iid}:journal:{n}")
+            for n in range(meta["journal_len"])
+        ]
+        return self._replay_from(iid, meta, journal)
+
+    def _replay_from(
+        self, iid: str, meta: Dict[str, Any], journal: List[Optional[Dict[str, Any]]]
+    ) -> _Runtime:
+        script = compile_script(meta["script_text"])
+        tree = InstanceTree(script, meta["root_task"], now=self._now)
+        runtime = _Runtime(iid, script, tree)
+        tree.start(meta["input_set"], meta["inputs"])
+        self._drain(runtime)
+        for entry in journal:
+            if entry is None:
+                break
+            runtime.journal_keys.add(self._entry_key(entry))
+            if entry["type"] in ("result", "failure"):
+                runtime.in_flight.pop((entry["path"], entry["exec"]), None)
+                runtime.external.discard((entry["path"], entry["exec"]))
+            elif entry["type"] == "external":
+                runtime.in_flight.pop((entry["path"], entry["exec"]), None)
+                runtime.external.add((entry["path"], entry["exec"]))
+            self._apply_entry(runtime, entry)
+            self._drain(runtime)
+        # anything still in flight was unanswered at crash time: re-dispatch
+        for flight in runtime.in_flight.values():
+            flight.dispatched_at = self._now() - self.dispatch_timeout
+            flight.redispatches += 1
+        return runtime
+
+    # -- helpers --------------------------------------------------------------------------------------
+
+    def _runtime(self, iid: str) -> _Runtime:
+        try:
+            return self.runtimes[iid]
+        except KeyError:
+            raise ExecutionError(f"unknown workflow instance {iid!r}") from None

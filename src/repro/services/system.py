@@ -1,0 +1,151 @@
+"""Assembly of the whole workflow management system (paper Fig. 4).
+
+One :class:`WorkflowSystem` builds the simulated world: a repository node, an
+execution-service node, a configurable pool of worker nodes and a client
+node, all joined by the ORB over the (faulty, partitionable) network.  It
+exposes the same client surface the paper's Java-applet administration tools
+used: deploy a script, instantiate it, watch it run, reconfigure it — while
+experiments crash nodes and drop messages underneath.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..engine.events import WorkflowStatus
+from ..engine.registry import ImplementationRegistry
+from ..net.clock import EventClock
+from ..net.network import LatencyModel, Network
+from ..net.node import Node
+from ..orb.broker import ObjectBroker
+from ..orb.proxy import Proxy
+from ..txn.store import ObjectStore
+from .execution import EXECUTION_INTERFACE, ExecutionService
+from .repository import REPOSITORY_INTERFACE, RepositoryService
+from .worker import WORKER_INTERFACE, TaskWorker
+
+TERMINAL = (
+    WorkflowStatus.COMPLETED.value,
+    WorkflowStatus.ABORTED.value,
+    WorkflowStatus.FAILED.value,
+)
+
+
+class WorkflowSystem:
+    """The full distributed workflow system, simulated on one event clock."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+        durable: bool = True,
+        dispatch_timeout: float = 30.0,
+        sweep_interval: float = 10.0,
+        registry: Optional[ImplementationRegistry] = None,
+    ) -> None:
+        self.clock = EventClock()
+        self.network = Network(
+            self.clock, latency or LatencyModel(1.0, 0.5), loss_rate, seed
+        )
+        self.broker = ObjectBroker(self.clock, self.network)
+        self.registry = registry or ImplementationRegistry()
+
+        self.repository_node = Node("repository-node", self.clock, self.network)
+        self.repository_store = ObjectStore("repository-store")
+        self.repository = RepositoryService("repository", self.repository_store)
+        self.repository_node.install(self.repository)
+        self.broker.register(
+            "repository", REPOSITORY_INTERFACE, self.repository, self.repository_node
+        )
+
+        self.worker_nodes: List[Node] = []
+        self.workers: List[TaskWorker] = []
+        worker_names: List[str] = []
+        for index in range(workers):
+            node = Node(f"worker-node-{index + 1}", self.clock, self.network)
+            worker = TaskWorker(f"worker-{index + 1}", self.registry)
+            node.install(worker)
+            name = f"worker-{index + 1}"
+            self.broker.register(name, WORKER_INTERFACE, worker, node)
+            self.worker_nodes.append(node)
+            self.workers.append(worker)
+            worker_names.append(name)
+
+        self.execution_node = Node("execution-node", self.clock, self.network)
+        self.execution_store = ObjectStore("execution-store")
+        self.execution = ExecutionService(
+            "execution",
+            self.execution_store,
+            self.broker,
+            repository_name="repository",
+            worker_names=worker_names,
+            durable=durable,
+            dispatch_timeout=dispatch_timeout,
+            sweep_interval=sweep_interval,
+        )
+        self.execution_node.install(self.execution)
+        self.broker.register(
+            "execution", EXECUTION_INTERFACE, self.execution, self.execution_node
+        )
+
+        self.client_node = Node("client-node", self.clock, self.network)
+
+    # -- client-side proxies (what the paper's browser tools talk to) ----------------
+
+    def repository_proxy(self, from_node: Optional[Node] = None) -> Proxy:
+        return Proxy(self.broker, from_node or self.client_node, "repository")
+
+    def execution_proxy(self, from_node: Optional[Node] = None) -> Proxy:
+        return Proxy(self.broker, from_node or self.client_node, "execution")
+
+    # -- convenience client operations ---------------------------------------------------
+
+    def deploy(self, script_name: str, text: str) -> int:
+        return self.repository_proxy().store_script(script_name, text)
+
+    def instantiate(
+        self,
+        script_name: str,
+        root_task: str,
+        inputs: Optional[Mapping[str, Any]] = None,
+        input_set: str = "main",
+    ) -> str:
+        return self.execution_proxy().instantiate(
+            script_name, root_task, input_set, dict(inputs or {})
+        )
+
+    def status(self, iid: str) -> Dict[str, Any]:
+        return self.execution_proxy().status(iid)
+
+    def result(self, iid: str) -> Dict[str, Any]:
+        return self.execution_proxy().result(iid)
+
+    def run_until_terminal(
+        self, iid: str, max_time: float = 100_000.0, check_every: float = 25.0
+    ) -> Dict[str, Any]:
+        """Advance simulated time until the instance terminates (or the time
+        budget runs out — the result then reports its last observed state).
+
+        Status is read directly off the execution service (not through the
+        ORB) so monitoring does not perturb the experiment; when the
+        execution node is down the system simply keeps running time forward,
+        exactly as an operator would wait out an outage.
+        """
+        deadline = self.clock.now + max_time
+        while self.clock.now < deadline:
+            self.clock.advance(check_every)
+            if not self.execution_node.alive:
+                continue
+            runtime = self.execution.runtimes.get(iid)
+            if runtime is None:
+                if self.execution.durable:
+                    continue  # not yet recovered
+                break  # lost for good: the ablation outcome
+            if runtime.tree.status.value in TERMINAL:
+                break
+        if self.execution_node.alive and iid in self.execution.runtimes:
+            return self.execution.result(iid)
+        return {"instance": iid, "status": "lost", "outcome": None, "objects": {},
+                "marks": [], "error": "instance not present on execution node"}

@@ -1,0 +1,168 @@
+"""Task worker service: executes task implementations on a node.
+
+Workers are the "application" half of the paper's environment: the execution
+service schedules a task, a worker somewhere runs the bound implementation
+and sends the result back.  Delivery is at-least-once (the execution service
+re-dispatches on timeout), so a worker may execute the same request twice;
+the execution service deduplicates results by ``(instance, task path,
+execution index)``, and atomicity of the *effects* is the task's own business
+(atomic tasks, §4.2) exactly as in the paper.
+
+Marks are forwarded immediately as one-way datagrams so downstream tasks can
+start before the producing task finishes (the early-release semantics), and
+are also included in the final reply in case the datagram is lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.schema import Script, TaskClass
+from ..engine.context import PendingExternal, TaskContext, TaskResult
+from ..engine.registry import ImplementationRegistry, ScriptBinding
+from ..net.node import Message, Service
+from ..orb.broker import Interface
+from .serialization import (
+    refs_from_plain,
+    refs_to_plain,
+    result_to_plain,
+    taskclass_from_plain,
+)
+
+WORKER_INTERFACE = Interface("TaskWorker", ("execute",))
+
+
+@dataclass
+class WorkRequest:
+    """Plain-data dispatch payload (crosses the ORB)."""
+
+    instance_id: str
+    task_path: str
+    execution_index: int
+    taskclass: Dict[str, Any]       # serialized TaskClass
+    code: Optional[str]
+    input_set: str
+    inputs: Dict[str, Any]          # plain refs
+    properties: Dict[str, str]
+    attempt: int
+    repeats: int
+    reply_to: str                    # execution-service node name
+
+    def to_plain(self) -> Dict[str, Any]:
+        return dict(self.__dict__)
+
+    @classmethod
+    def from_plain(cls, data: Dict[str, Any]) -> "WorkRequest":
+        return cls(**data)
+
+
+class TaskWorker(Service):
+    """Executes implementations from a local registry.
+
+    The worker resolves the script's abstract ``code`` names against its own
+    registry — the late binding of §3.  Sub-workflow (script) bindings are
+    executed in-process on the worker with a local engine.
+    """
+
+    def __init__(self, name: str, registry: ImplementationRegistry) -> None:
+        super().__init__(name)
+        self.registry = registry
+        self.executed: List[Tuple[str, str, int]] = []  # (instance, path, index)
+
+    def execute(self, request_data: Dict[str, Any]) -> Dict[str, Any]:
+        """Run one task; returns a plain-data reply.
+
+        Reply shape: ``{"ok": bool, "result": ..., "marks": [...],
+        "error": str | None}`` plus the request's identity echo.
+        """
+        request = WorkRequest.from_plain(dict(request_data))
+        self.executed.append(
+            (request.instance_id, request.task_path, request.execution_index)
+        )
+        marks: List[Dict[str, Any]] = []
+
+        def mark_sink(mark_name: str, objects) -> None:
+            entry = {
+                "instance_id": request.instance_id,
+                "task_path": request.task_path,
+                "execution_index": request.execution_index,
+                "name": mark_name,
+                "objects": refs_to_plain(objects),
+            }
+            marks.append(entry)
+            # Early release: push the mark out immediately (may be lost; the
+            # final reply re-carries it).
+            if self.node is not None and self.node.alive:
+                self.node.send(
+                    request.reply_to,
+                    {"service": "execution", "type": "mark", **entry},
+                )
+
+        taskclass = taskclass_from_plain(request.taskclass)
+        context = TaskContext(
+            task_path=request.task_path,
+            taskclass=taskclass,
+            input_set=request.input_set,
+            inputs=refs_from_plain(request.inputs),
+            properties=request.properties,
+            attempt=request.attempt,
+            repeats=request.repeats,
+            mark_sink=mark_sink,
+        )
+        identity = {
+            "instance_id": request.instance_id,
+            "task_path": request.task_path,
+            "execution_index": request.execution_index,
+        }
+        try:
+            binding = self.registry.resolve(request.code)
+            if isinstance(binding, ScriptBinding):
+                result = self._run_subworkflow(binding, context)
+            else:
+                result = binding(context)
+            if isinstance(result, PendingExternal):
+                # interactive / long-running task: parked at the execution
+                # service until an external completion arrives
+                return {**identity, "ok": True, "external": True, "marks": marks,
+                        "error": None}
+            if not isinstance(result, TaskResult):
+                raise TypeError(
+                    f"implementation returned {type(result).__name__}, "
+                    f"expected TaskResult"
+                )
+        except Exception as exc:
+            return {**identity, "ok": False, "error": repr(exc), "marks": marks}
+        return {
+            **identity,
+            "ok": True,
+            "result": result_to_plain(result),
+            "marks": marks,
+            "error": None,
+        }
+
+    def _run_subworkflow(self, binding: ScriptBinding, context: TaskContext) -> TaskResult:
+        from ..engine.local import LocalEngine  # local import: avoids a cycle
+
+        engine = LocalEngine(self.registry)
+        result = engine.run(
+            binding.script,
+            binding.task_name,
+            inputs=context.inputs,
+            input_set=context.input_set,
+        )
+        from ..engine.events import WorkflowStatus
+
+        if result.status in (WorkflowStatus.COMPLETED, WorkflowStatus.ABORTED):
+            root_class = binding.script.taskclass_of(
+                binding.script.tasks[binding.task_name]
+            )
+            spec = root_class.output(result.outcome)
+            return TaskResult(
+                spec.kind,
+                result.outcome,
+                {k: v.value for k, v in result.objects.items()},
+            )
+        raise RuntimeError(
+            f"sub-workflow ended {result.status.value}: {result.error}"
+        )

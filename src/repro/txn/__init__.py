@@ -1,0 +1,45 @@
+"""Transactional substrate: the OTSArjuna analogue (see DESIGN.md §2).
+
+Provides persistent atomic objects, strict-2PL locking, write-ahead logging,
+one- and two-phase commit, and crash recovery.  The workflow execution
+service builds its "tasks eventually receive their inputs" guarantee on these
+primitives, exactly as the paper builds on Arjuna/OTS.
+"""
+
+from .atomic import AtomicObject
+from .ids import IdSource, ObjectId, TransactionId
+from .locks import DeadlockError, LockConflict, LockManager, LockMode
+from .manager import (
+    RetriesExhausted,
+    Transaction,
+    TransactionAborted,
+    TransactionManager,
+    TransactionState,
+)
+from .recovery import recover_with_coordinator, resolve_in_doubt
+from .store import NoSuchObject, ObjectStore
+from .wal import LogRecord, WriteAheadLog, in_doubt, replay
+
+__all__ = [
+    "AtomicObject",
+    "DeadlockError",
+    "IdSource",
+    "LockConflict",
+    "LockManager",
+    "LockMode",
+    "LogRecord",
+    "NoSuchObject",
+    "ObjectId",
+    "ObjectStore",
+    "RetriesExhausted",
+    "Transaction",
+    "TransactionAborted",
+    "TransactionId",
+    "TransactionManager",
+    "TransactionState",
+    "WriteAheadLog",
+    "in_doubt",
+    "recover_with_coordinator",
+    "replay",
+    "resolve_in_doubt",
+]

@@ -1,0 +1,45 @@
+"""Identifier types for the transactional substrate.
+
+Arjuna used interned UIDs for transactions and persistent objects; we use
+small, ordered, human-readable identifiers which make logs and test failures
+legible while preserving the properties the protocols need (uniqueness and a
+total order for deterministic tie-breaking, e.g. wound-wait style policies).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True, order=True)
+class TransactionId:
+    """Globally ordered transaction identifier."""
+
+    number: int
+    origin: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"txn:{self.origin}:{self.number}" if self.origin else f"txn:{self.number}"
+
+
+@dataclass(frozen=True, order=True)
+class ObjectId:
+    """Identifier of a persistent (atomic) object."""
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"obj:{self.name}"
+
+
+class IdSource:
+    """Monotonic id generator, one per transaction manager."""
+
+    def __init__(self, origin: str = "") -> None:
+        self.origin = origin
+        self._counter: Iterator[int] = itertools.count(1)
+
+    def next_txn(self) -> TransactionId:
+        return TransactionId(next(self._counter), self.origin)

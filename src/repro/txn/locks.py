@@ -1,0 +1,193 @@
+"""Lock manager: strict two-phase locking with deadlock detection.
+
+Two acquisition disciplines are offered:
+
+* ``try_acquire`` — non-blocking; on conflict the caller typically aborts and
+  retries (the execution service uses this: its transactions are short).
+* ``acquire(..., wait=True)`` — enqueue behind the conflicting holders; a
+  waits-for cycle raises :class:`DeadlockError` for the requester closing the
+  cycle (its transaction should abort).
+
+Locks are held until :meth:`release_all` at commit/abort — strict 2PL, which
+is what gives the paper's atomic objects serialisable updates.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set, Tuple
+from collections import deque
+
+from .ids import ObjectId, TransactionId
+
+
+class LockMode(enum.Enum):
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+class LockConflict(RuntimeError):
+    """Non-blocking acquisition failed."""
+
+    def __init__(self, txn: TransactionId, obj: ObjectId, holders: Set[TransactionId]) -> None:
+        super().__init__(f"{txn} cannot lock {obj}: held by {sorted(holders)}")
+        self.txn = txn
+        self.obj = obj
+        self.holders = set(holders)
+
+
+class DeadlockError(RuntimeError):
+    """Blocking acquisition would create a waits-for cycle."""
+
+    def __init__(self, txn: TransactionId, cycle: List[TransactionId]) -> None:
+        super().__init__(f"deadlock: {txn} joins cycle {cycle}")
+        self.txn = txn
+        self.cycle = cycle
+
+
+@dataclass
+class _LockEntry:
+    holders: Dict[TransactionId, LockMode] = field(default_factory=dict)
+    waiters: Deque[Tuple[TransactionId, LockMode]] = field(default_factory=deque)
+
+    def compatible(self, txn: TransactionId, mode: LockMode) -> bool:
+        others = {t: m for t, m in self.holders.items() if t != txn}
+        if not others:
+            return True
+        if mode is LockMode.EXCLUSIVE:
+            return False
+        return all(m is LockMode.SHARED for m in others.values())
+
+
+class LockManager:
+    """Table of object locks, one per store."""
+
+    def __init__(self) -> None:
+        self._table: Dict[ObjectId, _LockEntry] = defaultdict(_LockEntry)
+        self._held: Dict[TransactionId, Set[ObjectId]] = defaultdict(set)
+        # waits-for graph: txn -> transactions it waits on
+        self._waits_for: Dict[TransactionId, Set[TransactionId]] = defaultdict(set)
+
+    # -- queries ---------------------------------------------------------------
+
+    def holders(self, obj: ObjectId) -> Dict[TransactionId, LockMode]:
+        return dict(self._table[obj].holders)
+
+    def held_by(self, txn: TransactionId) -> Set[ObjectId]:
+        return set(self._held.get(txn, ()))
+
+    def mode_of(self, txn: TransactionId, obj: ObjectId) -> Optional[LockMode]:
+        return self._table[obj].holders.get(txn)
+
+    # -- acquisition ----------------------------------------------------------
+
+    def try_acquire(self, txn: TransactionId, obj: ObjectId, mode: LockMode) -> bool:
+        """Acquire without waiting.  Returns False (and acquires nothing) if a
+        conflicting holder exists.  Lock upgrades (shared -> exclusive by the
+        sole holder) are supported."""
+        entry = self._table[obj]
+        current = entry.holders.get(txn)
+        if current is LockMode.EXCLUSIVE or current is mode:
+            return True
+        if not entry.compatible(txn, mode):
+            return False
+        entry.holders[txn] = mode
+        self._held[txn].add(obj)
+        return True
+
+    def acquire(self, txn: TransactionId, obj: ObjectId, mode: LockMode, wait: bool = False) -> None:
+        """Acquire, raising :class:`LockConflict` (``wait=False``) or
+        registering as a waiter and raising :class:`DeadlockError` on a
+        waits-for cycle (``wait=True``)."""
+        if self.try_acquire(txn, obj, mode):
+            return
+        entry = self._table[obj]
+        holders = {t for t in entry.holders if t != txn}
+        if not wait:
+            raise LockConflict(txn, obj, holders)
+        self._waits_for[txn] |= holders
+        cycle = self._find_cycle(txn)
+        if cycle:
+            self._waits_for.pop(txn, None)
+            raise DeadlockError(txn, cycle)
+        entry.waiters.append((txn, mode))
+
+    def _find_cycle(self, start: TransactionId) -> Optional[List[TransactionId]]:
+        seen: Set[TransactionId] = set()
+        path: List[TransactionId] = []
+
+        def visit(txn: TransactionId) -> Optional[List[TransactionId]]:
+            if txn in path:
+                return path[path.index(txn):]
+            if txn in seen:
+                return None
+            seen.add(txn)
+            path.append(txn)
+            for other in self._waits_for.get(txn, ()):
+                found = visit(other)
+                if found:
+                    return found
+            path.pop()
+            return None
+
+        return visit(start)
+
+    # -- lock inheritance (nested transactions) ---------------------------------
+
+    def transfer_all(self, child: TransactionId, parent: TransactionId) -> None:
+        """Move every lock held by ``child`` to ``parent`` (Arjuna-style lock
+        anti-inheritance: a committing nested transaction's locks are
+        retained by its parent rather than released)."""
+        for obj in self._held.pop(child, set()):
+            entry = self._table[obj]
+            mode = entry.holders.pop(child, None)
+            if mode is None:
+                continue
+            current = entry.holders.get(parent)
+            if current is not LockMode.EXCLUSIVE:
+                entry.holders[parent] = (
+                    LockMode.EXCLUSIVE if mode is LockMode.EXCLUSIVE else
+                    current or mode
+                )
+            self._held[parent].add(obj)
+        self._waits_for.pop(child, None)
+        for waiters in self._waits_for.values():
+            waiters.discard(child)
+
+    # -- release --------------------------------------------------------------
+
+    def release_all(self, txn: TransactionId) -> List[Tuple[TransactionId, ObjectId]]:
+        """Release every lock held by ``txn`` (strict 2PL release point) and
+        grant queued waiters where now possible.  Returns the grants made as
+        ``(waiter, object)`` pairs so the caller can resume those
+        transactions."""
+        grants: List[Tuple[TransactionId, ObjectId]] = []
+        for obj in self._held.pop(txn, set()):
+            entry = self._table[obj]
+            entry.holders.pop(txn, None)
+        self._waits_for.pop(txn, None)
+        for waiters in self._waits_for.values():
+            waiters.discard(txn)
+        # drop the released transaction from every waiter queue (it may have
+        # been waiting elsewhere when it aborted)
+        for entry in self._table.values():
+            if any(waiter == txn for waiter, _mode in entry.waiters):
+                entry.waiters = deque(
+                    (waiter, mode) for waiter, mode in entry.waiters if waiter != txn
+                )
+        # grant pass: for each object with waiters, admit compatible ones FIFO
+        for obj, entry in list(self._table.items()):
+            made_grant = True
+            while made_grant and entry.waiters:
+                waiter, mode = entry.waiters[0]
+                if entry.compatible(waiter, mode):
+                    entry.waiters.popleft()
+                    entry.holders[waiter] = mode
+                    self._held[waiter].add(obj)
+                    self._waits_for.pop(waiter, None)
+                    grants.append((waiter, obj))
+                else:
+                    made_grant = False
+        return grants

@@ -1,0 +1,51 @@
+"""Crash recovery for stores participating in two-phase commit.
+
+Single-store (one-phase) recovery is fully handled by
+:meth:`ObjectStore.recover` — redo committed transactions, presume-abort the
+rest.  Stores that hold PREPARE records without a matching decision are *in
+doubt* and must ask the coordinator; this module implements that resolution
+step.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .ids import ObjectId, TransactionId
+from .manager import TransactionManager
+from .store import ObjectStore
+from . import wal as wal_mod
+
+
+def resolve_in_doubt(store: ObjectStore, decide: Callable[[TransactionId], bool]) -> Dict[TransactionId, bool]:
+    """Resolve every in-doubt transaction in ``store``.
+
+    ``decide(tid)`` returns the coordinator's verdict (True = commit).  For
+    each in-doubt transaction the outcome record is appended and, on commit,
+    its logged after-images are installed.  Returns the decisions applied.
+    """
+    decisions: Dict[TransactionId, bool] = {}
+    for tid in list(store.in_doubt()):
+        committed = bool(decide(tid))
+        decisions[tid] = committed
+        if committed:
+            writes = _logged_writes(store, tid)
+            store.commit(tid, writes)
+        else:
+            store.abort(tid)
+    return decisions
+
+
+def recover_with_coordinator(store: ObjectStore, manager: TransactionManager) -> Dict[TransactionId, bool]:
+    """Full recovery of ``store``: replay the durable log, then resolve any
+    in-doubt prepared transactions against ``manager``'s decision log."""
+    store.recover()
+    return resolve_in_doubt(store, manager.decision)
+
+
+def _logged_writes(store: ObjectStore, tid: TransactionId) -> Dict[str, object]:
+    writes: Dict[str, object] = {}
+    for record in store.wal.durable_records():
+        if record.kind == wal_mod.UPDATE and record.txn == tid:
+            writes[record.obj.name] = record.value
+    return writes

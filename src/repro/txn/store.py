@@ -1,0 +1,95 @@
+"""Durable object store.
+
+One :class:`ObjectStore` models one node's stable storage, holding the
+committed states of persistent atomic objects plus the write-ahead log that
+makes updates recoverable.  The in-memory ``committed`` map is just a cache of
+what the durable log says; :meth:`crash` drops unforced log records and
+rebuilds the cache from the log — the store's entire crash semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, KeysView, Optional
+
+from .ids import ObjectId, TransactionId
+from .locks import LockManager
+from . import wal as wal_mod
+from .wal import WriteAheadLog
+
+
+class NoSuchObject(KeyError):
+    """Read of an object that has never been committed."""
+
+
+class ObjectStore:
+    """Stable storage for one node: committed object images + WAL + locks."""
+
+    def __init__(self, name: str, mirror_path: Optional[str] = None) -> None:
+        self.name = name
+        self.wal = WriteAheadLog(mirror_path)
+        self.locks = LockManager()
+        self._committed: Dict[str, Any] = {}
+
+    # -- committed-state access -------------------------------------------------
+
+    def read_committed(self, key: str) -> Any:
+        try:
+            return self._committed[key]
+        except KeyError:
+            raise NoSuchObject(key) from None
+
+    def get_committed(self, key: str, default: Any = None) -> Any:
+        return self._committed.get(key, default)
+
+    def exists(self, key: str) -> bool:
+        return key in self._committed
+
+    def keys(self) -> KeysView[str]:
+        return self._committed.keys()
+
+    def snapshot(self) -> Dict[str, Any]:
+        return dict(self._committed)
+
+    # -- transactional application (called by the transaction manager) ----------
+
+    def log_updates(self, txn: TransactionId, writes: Dict[str, Any]) -> None:
+        """Append BEGIN+UPDATE records for ``writes`` (not yet durable)."""
+        self.wal.append(wal_mod.BEGIN, txn)
+        for key, value in writes.items():
+            self.wal.append(wal_mod.UPDATE, txn, ObjectId(key), value)
+
+    def prepare(self, txn: TransactionId) -> None:
+        """2PC vote: force a PREPARE record."""
+        self.wal.append(wal_mod.PREPARE, txn)
+        self.wal.force()
+
+    def commit(self, txn: TransactionId, writes: Dict[str, Any]) -> None:
+        """Force the COMMIT record, then install the after-images."""
+        self.wal.append(wal_mod.COMMIT, txn)
+        self.wal.force()
+        self._committed.update(writes)
+
+    def abort(self, txn: TransactionId) -> None:
+        self.wal.append(wal_mod.ABORT, txn)
+        self.wal.force()
+
+    # -- failure model -----------------------------------------------------------
+
+    def crash(self) -> int:
+        """Lose volatile state: unforced log records vanish and the committed
+        cache is rebuilt from the durable log.  Returns records lost."""
+        lost = self.wal.lose_unforced()
+        self._committed = wal_mod.replay(self.wal.durable_records())
+        return lost
+
+    def recover(self) -> None:
+        """Rebuild the committed cache from the durable log (idempotent)."""
+        self._committed = wal_mod.replay(self.wal.durable_records())
+
+    def in_doubt(self) -> Iterable[TransactionId]:
+        """Transactions prepared here whose outcome is unknown locally."""
+        return wal_mod.in_doubt(self.wal.durable_records())
+
+    def checkpoint(self) -> None:
+        """Compact the log around the current committed snapshot."""
+        self.wal.checkpoint(self.snapshot())

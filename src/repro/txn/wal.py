@@ -1,0 +1,172 @@
+"""Write-ahead log.
+
+Redo-only logging: a transaction's updates are appended as ``UPDATE`` records
+and become durable exactly when its ``COMMIT`` record is forced.  The log
+lives in *stable storage* — in the simulation, a plain Python list attached to
+a node's stable store that deliberately survives :meth:`Node.crash` — and can
+optionally be mirrored to a JSON-lines file on disk for inspection.
+
+Record kinds::
+
+    BEGIN    txn
+    UPDATE   txn, object, after-image
+    PREPARE  txn                     (2PC participant vote)
+    COMMIT   txn
+    ABORT    txn
+    CHECKPOINT snapshot              (compaction point)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from .ids import ObjectId, TransactionId
+
+
+BEGIN = "BEGIN"
+UPDATE = "UPDATE"
+PREPARE = "PREPARE"
+COMMIT = "COMMIT"
+ABORT = "ABORT"
+CHECKPOINT = "CHECKPOINT"
+
+_KINDS = {BEGIN, UPDATE, PREPARE, COMMIT, ABORT, CHECKPOINT}
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One durable log record."""
+
+    lsn: int
+    kind: str
+    txn: Optional[TransactionId] = None
+    obj: Optional[ObjectId] = None
+    value: Any = None
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "lsn": self.lsn,
+                "kind": self.kind,
+                "txn": [self.txn.number, self.txn.origin] if self.txn else None,
+                "obj": self.obj.name if self.obj else None,
+                "value": self.value,
+            },
+            default=repr,
+        )
+
+
+class WriteAheadLog:
+    """Append-only redo log.
+
+    ``force()`` is the durability point; appends before a force are volatile
+    and are discarded by :meth:`lose_unforced` (which node crash invokes).
+    """
+
+    def __init__(self, mirror_path: Optional[str] = None) -> None:
+        self._records: List[LogRecord] = []
+        self._forced_upto = 0  # index one past the last durable record
+        self._next_lsn = 1
+        self._mirror_path = mirror_path
+
+    # -- append/force ------------------------------------------------------------
+
+    def append(
+        self,
+        kind: str,
+        txn: Optional[TransactionId] = None,
+        obj: Optional[ObjectId] = None,
+        value: Any = None,
+    ) -> LogRecord:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown log record kind {kind!r}")
+        record = LogRecord(self._next_lsn, kind, txn, obj, value)
+        self._next_lsn += 1
+        self._records.append(record)
+        return record
+
+    def force(self) -> int:
+        """Make all appended records durable; returns the durable LSN."""
+        start = self._forced_upto
+        self._forced_upto = len(self._records)
+        if self._mirror_path and self._forced_upto > start:
+            with open(self._mirror_path, "a", encoding="utf-8") as fh:
+                for record in self._records[start:self._forced_upto]:
+                    fh.write(record.to_json() + "\n")
+        return self._records[-1].lsn if self._records else 0
+
+    def lose_unforced(self) -> int:
+        """Simulate a crash: drop records appended since the last force.
+        Returns how many records were lost."""
+        lost = len(self._records) - self._forced_upto
+        del self._records[self._forced_upto:]
+        return lost
+
+    # -- reading ---------------------------------------------------------------
+
+    def durable_records(self) -> Iterator[LogRecord]:
+        """Iterate records that survived (i.e. were forced)."""
+        return iter(self._records[: self._forced_upto])
+
+    def all_records(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def durable_length(self) -> int:
+        return self._forced_upto
+
+    # -- compaction ---------------------------------------------------------------
+
+    def checkpoint(self, snapshot: Dict[str, Any]) -> None:
+        """Write a checkpoint carrying a full committed snapshot, force it and
+        truncate everything before it."""
+        record = self.append(CHECKPOINT, value=snapshot)
+        self.force()
+        index = self._records.index(record)
+        self._records = self._records[index:]
+        self._forced_upto = len(self._records)
+
+
+def replay(records: Iterable[LogRecord]) -> Dict[str, Any]:
+    """Rebuild the committed state from a durable record stream.
+
+    Only updates of transactions whose COMMIT record is present take effect
+    (redo-only, presumed abort for the rest) — the standard recovery rule the
+    execution service's guarantees rest on.
+    """
+    snapshot: Dict[str, Any] = {}
+    pending: Dict[TransactionId, List[LogRecord]] = {}
+    for record in records:
+        if record.kind == CHECKPOINT:
+            snapshot = dict(record.value or {})
+            pending.clear()
+        elif record.kind == BEGIN:
+            pending[record.txn] = []
+        elif record.kind == UPDATE:
+            pending.setdefault(record.txn, []).append(record)
+        elif record.kind == COMMIT:
+            for update in pending.pop(record.txn, []):
+                snapshot[update.obj.name] = update.value
+        elif record.kind == ABORT:
+            pending.pop(record.txn, None)
+        # PREPARE leaves the txn pending; outcome is resolved by the
+        # coordinator (see repro.txn.recovery).
+    return snapshot
+
+
+def in_doubt(records: Iterable[LogRecord]) -> List[TransactionId]:
+    """Transactions that PREPAREd but have no COMMIT/ABORT in the stream."""
+    prepared: Dict[TransactionId, bool] = {}
+    for record in records:
+        if record.kind == PREPARE:
+            prepared[record.txn] = True
+        elif record.kind in (COMMIT, ABORT) and record.txn in prepared:
+            del prepared[record.txn]
+        elif record.kind == CHECKPOINT:
+            prepared.clear()
+    return sorted(prepared)

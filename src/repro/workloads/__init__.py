@@ -1,0 +1,19 @@
+"""Workload builders (DESIGN.md subsystem S9): the paper's three example
+applications as ready-to-run scripts, plus parameterised synthetic DAGs for
+the scalability and baseline benchmarks.
+"""
+
+from . import paper_order, paper_service_impact, paper_trip
+from .generators import Workload, chain, diamond, fan, random_dag, script_text
+
+__all__ = [
+    "Workload",
+    "chain",
+    "diamond",
+    "fan",
+    "paper_order",
+    "paper_service_impact",
+    "paper_trip",
+    "random_dag",
+    "script_text",
+]

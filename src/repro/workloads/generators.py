@@ -1,0 +1,170 @@
+"""Synthetic workload generators for the scalability and baseline benches.
+
+All generators return ``(script, registry, root_task, inputs)`` ready to run
+on any engine.  Shapes:
+
+* :func:`chain` — t1 -> t2 -> ... -> tn (pure dataflow pipeline);
+* :func:`fan` — one producer, ``width`` parallel consumers, one joiner
+  (fan-out/fan-in, the Fig. 1 diamond generalised);
+* :func:`diamond` — exactly Fig. 1: t1; t2, t3 in parallel; t4 joins
+  (t2's arc is a notification, t3's and t4's are dataflow, as drawn);
+* :func:`random_dag` — ``n`` tasks, each drawing 1..``max_deps`` dependencies
+  from earlier tasks (guaranteed acyclic), seeded and reproducible;
+* :func:`script_text` — canonical source text of any generated script, for
+  parser benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.builder import ScriptBuilder, from_input, from_output
+from ..core.schema import Script
+from ..engine import ImplementationRegistry, outcome
+from ..lang import format_script
+
+Workload = Tuple[Script, ImplementationRegistry, str, Dict[str, object]]
+
+
+def _noop_registry(code_names: Iterable[str], payload: str = "x") -> ImplementationRegistry:
+    reg = ImplementationRegistry()
+
+    def make(code: str):
+        def fn(ctx):
+            first = next(iter(ctx.inputs.values()), None)
+            value = first.value if first is not None else payload
+            return outcome("done", out=f"{value}")
+
+        return fn
+
+    for code in code_names:
+        reg.register(code, make(code))
+    return reg
+
+
+def _stage_taskclass(b: ScriptBuilder) -> None:
+    b.object_class("Data")
+    b.taskclass("Stage").input_set("main", inp="Data").outcome("done", out="Data")
+
+
+def chain(length: int) -> Workload:
+    """A linear pipeline of ``length`` tasks."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    b = ScriptBuilder()
+    _stage_taskclass(b)
+    b.taskclass("Root").input_set("main", inp="Data").outcome("done", out="Data")
+    root = b.compound("pipeline", "Root")
+    previous_source = from_input("pipeline", "main", "inp")
+    for index in range(length):
+        name = f"t{index + 1}"
+        root.task(name, "Stage").implementation(code="stage").input(
+            "main", "inp", previous_source
+        ).up()
+        previous_source = from_output(name, "done", "out")
+    root.output("done").object(
+        "out", from_output(f"t{length}", "done", "out")
+    ).up()
+    root.up()
+    script = b.build()
+    return script, _noop_registry(["stage"]), "pipeline", {"inp": "seed"}
+
+
+def fan(width: int) -> Workload:
+    """One source task fanning out to ``width`` workers, joined by a sink
+    that requires a notification from every worker."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = ScriptBuilder()
+    _stage_taskclass(b)
+    b.taskclass("Root").input_set("main", inp="Data").outcome("done", out="Data")
+    root = b.compound("fan", "Root")
+    root.task("source", "Stage").implementation(code="stage").input(
+        "main", "inp", from_input("fan", "main", "inp")
+    ).up()
+    for index in range(width):
+        root.task(f"w{index + 1}", "Stage").implementation(code="stage").input(
+            "main", "inp", from_output("source", "done", "out")
+        ).up()
+    sink = root.task("sink", "Stage").implementation(code="stage").input(
+        "main", "inp", from_output("w1", "done", "out")
+    )
+    for index in range(1, width):
+        sink.notify("main", from_output(f"w{index + 1}", "done"))
+    sink.up()
+    root.output("done").object("out", from_output("sink", "done", "out")).up()
+    root.up()
+    script = b.build()
+    return script, _noop_registry(["stage"]), "fan", {"inp": "seed"}
+
+
+def diamond() -> Workload:
+    """Fig. 1 exactly: t2/t3 start after t1; t4 starts after both.
+
+    t1->t2 is a *notification* (dotted in the figure), t1->t3, t2->t4 and
+    t3->t4 carry data (solid arcs)."""
+    b = ScriptBuilder()
+    b.object_class("Data")
+    b.taskclass("Produce").input_set("main").outcome("done", out="Data")
+    b.taskclass("Consume").input_set("main", inp="Data").outcome("done", out="Data")
+    b.taskclass("Join").input_set("main", left="Data", right="Data").outcome(
+        "done", out="Data"
+    )
+    b.taskclass("Root").input_set("main").outcome("done", out="Data")
+    root = b.compound("fig1", "Root")
+    root.task("t1", "Produce").implementation(code="produce").notify(
+        "main", from_input("fig1", "main")
+    ).up()
+    root.task("t2", "Produce").implementation(code="produce").notify(
+        "main", from_output("t1", "done")
+    ).up()
+    root.task("t3", "Consume").implementation(code="consume").input(
+        "main", "inp", from_output("t1", "done", "out")
+    ).up()
+    root.task("t4", "Join").implementation(code="join").input(
+        "main", "left", from_output("t2", "done", "out")
+    ).input("main", "right", from_output("t3", "done", "out")).up()
+    root.output("done").object("out", from_output("t4", "done", "out")).up()
+    root.up()
+    script = b.build()
+    reg = ImplementationRegistry()
+    reg.register("produce", lambda ctx: outcome("done", out=f"{ctx.task_path}"))
+    reg.register("consume", lambda ctx: outcome("done", out=f"c({ctx.value('inp')})"))
+    reg.register(
+        "join",
+        lambda ctx: outcome("done", out=f"join({ctx.value('left')},{ctx.value('right')})"),
+    )
+    return script, reg, "fig1", {}
+
+
+def random_dag(n: int, max_deps: int = 3, seed: int = 0) -> Workload:
+    """A random acyclic workflow of ``n`` tasks; reproducible under a seed."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = random.Random(seed)
+    b = ScriptBuilder()
+    _stage_taskclass(b)
+    b.taskclass("Root").input_set("main", inp="Data").outcome("done", out="Data")
+    root = b.compound("dag", "Root")
+    for index in range(n):
+        name = f"t{index + 1}"
+        task = root.task(name, "Stage").implementation(code="stage")
+        if index == 0:
+            task.input("main", "inp", from_input("dag", "main", "inp"))
+        else:
+            deps = rng.sample(range(index), k=min(index, rng.randint(1, max_deps)))
+            first, *rest = sorted(deps)
+            task.input("main", "inp", from_output(f"t{first + 1}", "done", "out"))
+            for dep in rest:
+                task.notify("main", from_output(f"t{dep + 1}", "done"))
+        task.up()
+    root.output("done").object("out", from_output(f"t{n}", "done", "out")).up()
+    root.up()
+    script = b.build()
+    return script, _noop_registry(["stage"]), "dag", {"inp": "seed"}
+
+
+def script_text(workload: Workload) -> str:
+    """Canonical source text for a generated workload (parser benchmarks)."""
+    return format_script(workload[0])

@@ -1,0 +1,187 @@
+"""§5.1 / Fig. 6 — the network-management service impact application.
+
+The compound task and its classes follow the paper's listing verbatim
+(including the *unguarded* source ``serviceImpactReports of task
+serviceImpactAnalysis``, which exercises the "any outcome carrying that
+object" rule).  The constituent task classes, which the paper elides, are
+reconstructed from the outcome names its output mapping references.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.schema import Script
+from ..engine import ImplementationRegistry, outcome
+from ..lang import compile_script
+
+SCRIPT_TEXT = """
+class AlarmsSource;
+class FaultReport;
+class ServiceImpactReports;
+class ResolutionReport;
+
+taskclass ServiceImpactApplication
+{
+    inputs { input main { alarmsSource of class AlarmsSource } };
+    outputs
+    {
+        outcome resolved { resolutionReport of class ResolutionReport };
+        outcome notResolved { };
+        outcome serviceImpactApplicationFailure { }
+    }
+};
+
+taskclass AlarmCorrelator
+{
+    inputs { input main { alarmSource of class AlarmsSource } };
+    outputs
+    {
+        outcome foundFault { faultReport of class FaultReport };
+        outcome alarmCorrelatorFailure { }
+    }
+};
+
+taskclass ServiceImpactAnalysis
+{
+    inputs { input main { faultReport of class FaultReport } };
+    outputs
+    {
+        outcome impactAssessed { serviceImpactReports of class ServiceImpactReports };
+        outcome serviceImpactAnalysisFailure { }
+    }
+};
+
+taskclass ServiceImpactResolution
+{
+    inputs { input main { serviceImpactReports of class ServiceImpactReports } };
+    outputs
+    {
+        outcome foundResolution { resolutionReport of class ResolutionReport };
+        outcome foundNoResolution { };
+        outcome serviceImpactResolutionFailure { }
+    }
+};
+
+compoundtask serviceImpactApplication of taskclass ServiceImpactApplication
+{
+    task alarmCorrelator of taskclass AlarmCorrelator
+    {
+        implementation { "code" is "refAlarmCorrelator" };
+        inputs
+        {
+            input main
+            {
+                inputobject alarmSource from
+                {
+                    alarmsSource of task serviceImpactApplication if input main
+                }
+            }
+        }
+    };
+    task serviceImpactAnalysis of taskclass ServiceImpactAnalysis
+    {
+        implementation { "code" is "refServiceImpactAnalysis" };
+        inputs
+        {
+            input main
+            {
+                inputobject faultReport from
+                {
+                    faultReport of task alarmCorrelator if output foundFault
+                }
+            }
+        }
+    };
+    task serviceImpactResolution of taskclass ServiceImpactResolution
+    {
+        implementation { "code" is "refServiceImpactResolution" };
+        inputs
+        {
+            input main
+            {
+                inputobject serviceImpactReports from
+                {
+                    serviceImpactReports of task serviceImpactAnalysis
+                }
+            }
+        }
+    };
+    outputs
+    {
+        outcome resolved
+        {
+            outputobject resolutionReport from
+            {
+                resolutionReport of task serviceImpactResolution if output foundResolution
+            }
+        };
+        outcome notResolved
+        {
+            notification from
+            {
+                task serviceImpactResolution if output foundNoResolution
+            }
+        };
+        outcome serviceImpactApplicationFailure
+        {
+            notification from
+            {
+                task alarmCorrelator if output alarmCorrelatorFailure;
+                task serviceImpactAnalysis if output serviceImpactAnalysisFailure;
+                task serviceImpactResolution if output serviceImpactResolutionFailure
+            }
+        }
+    }
+};
+"""
+
+ROOT_TASK = "serviceImpactApplication"
+
+
+def build() -> Script:
+    return compile_script(SCRIPT_TEXT)
+
+
+def default_registry(
+    fault: str = "link-loss",
+    resolvable: bool = True,
+    fail_stage: Optional[str] = None,
+    registry: Optional[ImplementationRegistry] = None,
+) -> ImplementationRegistry:
+    """Implementations for the three constituents.
+
+    ``fail_stage`` may be one of ``"correlate"``, ``"analyse"``, ``"resolve"``
+    to drive the application into its ``serviceImpactApplicationFailure``
+    outcome through the corresponding task.
+    """
+    reg = registry or ImplementationRegistry()
+
+    @reg.implementation("refAlarmCorrelator")
+    def alarm_correlator(ctx):
+        if fail_stage == "correlate":
+            return outcome("alarmCorrelatorFailure")
+        alarms = ctx.value("alarmSource")
+        return outcome("foundFault", faultReport=f"fault:{fault}@{alarms}")
+
+    @reg.implementation("refServiceImpactAnalysis")
+    def service_impact_analysis(ctx):
+        if fail_stage == "analyse":
+            return outcome("serviceImpactAnalysisFailure")
+        return outcome(
+            "impactAssessed",
+            serviceImpactReports=f"impacted-services({ctx.value('faultReport')})",
+        )
+
+    @reg.implementation("refServiceImpactResolution")
+    def service_impact_resolution(ctx):
+        if fail_stage == "resolve":
+            return outcome("serviceImpactResolutionFailure")
+        if resolvable:
+            return outcome(
+                "foundResolution",
+                resolutionReport=f"rerouted({ctx.value('serviceImpactReports')})",
+            )
+        return outcome("foundNoResolution")
+
+    return reg

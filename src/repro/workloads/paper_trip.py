@@ -1,0 +1,445 @@
+"""§5.3 / Figs. 8-9 — the business trip reservation application.
+
+The paper gives this application only in fragments; the script below fills in
+the elided task classes and outputs so that every behaviour the prose
+describes is present:
+
+* ``tripReservation`` (Fig. 8) contains the looping compound
+  ``businessReservation`` (BR) and ``printTickets`` (PT), and exposes the
+  flight cost early through the ``mark toPay`` output (quoted verbatim from
+  the paper).
+* ``businessReservation`` (Fig. 9) contains ``dataAcquisition`` (DA), the
+  nested compound ``checkFlightReservation`` (CFR) running three airline
+  queries in parallel, ``flightReservation`` (FR, which releases the cost via
+  a *mark* before finishing), ``hotelReservation`` (HR, which uses a *repeat
+  outcome* for its several booking attempts) and the compensating task
+  ``flightCancellation`` (FC).
+* BR's ``retry`` repeat outcome feeds its own ``user`` input back (the
+  paper's fragment, verbatim), making the whole compound loop; its abort
+  outcome fires when any of the first three tasks fails, as the prose
+  demands.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.schema import Script
+from ..engine import ImplementationRegistry, outcome, repeat
+from ..lang import compile_script
+
+SCRIPT_TEXT = """
+class UserInfo;
+class TripRequest;
+class FlightInfo;
+class Plane;
+class HotelInfo;
+class Cost;
+class Tickets;
+
+taskclass TripReservation
+{
+    inputs { input main { user of class UserInfo } };
+    outputs
+    {
+        outcome tripArranged { tickets of class Tickets };
+        outcome tripFailed { };
+        mark toPay { cost of class Cost }
+    }
+};
+
+taskclass BusinessReservation
+{
+    inputs { input main { user of class UserInfo } };
+    outputs
+    {
+        outcome success
+        {
+            cost of class Cost;
+            plane of class Plane;
+            hotel of class HotelInfo
+        };
+        repeat outcome retry { user of class UserInfo };
+        abort outcome reservationAborted { }
+    }
+};
+
+taskclass DataAcquisition
+{
+    inputs { input main { user of class UserInfo } };
+    outputs
+    {
+        outcome acquired { request of class TripRequest };
+        outcome acquisitionFailed { }
+    }
+};
+
+taskclass CheckFlightReservation
+{
+    inputs { input main { request of class TripRequest } };
+    outputs
+    {
+        outcome flightFound { flight of class FlightInfo };
+        outcome noFlight { }
+    }
+};
+
+taskclass QueryAirline
+{
+    inputs { input main { request of class TripRequest } };
+    outputs
+    {
+        outcome quote { flight of class FlightInfo };
+        outcome noQuote { }
+    }
+};
+
+taskclass FlightReservation
+{
+    inputs { input main { flight of class FlightInfo } };
+    outputs
+    {
+        mark costKnown { cost of class Cost };
+        outcome reserved { plane of class Plane };
+        outcome reservationFailed { }
+    }
+};
+
+taskclass HotelReservation
+{
+    inputs
+    {
+        input main { request of class TripRequest }
+    };
+    outputs
+    {
+        outcome booked { hotel of class HotelInfo };
+        repeat outcome tryAgain { };
+        outcome failed { }
+    }
+};
+
+taskclass FlightCancellation
+{
+    inputs { input main { plane of class Plane } };
+    outputs { outcome cancelled { } }
+};
+
+taskclass PrintTickets
+{
+    inputs
+    {
+        input main
+        {
+            plane of class Plane;
+            hotel of class HotelInfo
+        }
+    };
+    outputs { outcome printed { tickets of class Tickets } }
+};
+
+compoundtask tripReservation of taskclass TripReservation
+{
+    compoundtask businessReservation of taskclass BusinessReservation
+    {
+        inputs
+        {
+            input main
+            {
+                inputobject user from
+                {
+                    user of task tripReservation if input main;
+                    user of task businessReservation if output retry
+                }
+            }
+        };
+        task dataAcquisition of taskclass DataAcquisition
+        {
+            implementation { "code" is "refDataAcquisition" };
+            inputs
+            {
+                input main
+                {
+                    inputobject user from
+                    {
+                        user of task businessReservation if input main
+                    }
+                }
+            }
+        };
+        compoundtask checkFlightReservation of taskclass CheckFlightReservation
+        {
+            inputs
+            {
+                input main
+                {
+                    inputobject request from
+                    {
+                        request of task dataAcquisition if output acquired
+                    }
+                }
+            };
+            task queryAirlineOne of taskclass QueryAirline
+            {
+                implementation { "code" is "refQueryAirlineOne" };
+                inputs
+                {
+                    input main
+                    {
+                        inputobject request from
+                        {
+                            request of task checkFlightReservation if input main
+                        }
+                    }
+                }
+            };
+            task queryAirlineTwo of taskclass QueryAirline
+            {
+                implementation { "code" is "refQueryAirlineTwo" };
+                inputs
+                {
+                    input main
+                    {
+                        inputobject request from
+                        {
+                            request of task checkFlightReservation if input main
+                        }
+                    }
+                }
+            };
+            task queryAirlineThree of taskclass QueryAirline
+            {
+                implementation { "code" is "refQueryAirlineThree" };
+                inputs
+                {
+                    input main
+                    {
+                        inputobject request from
+                        {
+                            request of task checkFlightReservation if input main
+                        }
+                    }
+                }
+            };
+            outputs
+            {
+                outcome flightFound
+                {
+                    outputobject flight from
+                    {
+                        flight of task queryAirlineOne if output quote;
+                        flight of task queryAirlineTwo if output quote;
+                        flight of task queryAirlineThree if output quote
+                    }
+                };
+                outcome noFlight
+                {
+                    notification from { task queryAirlineOne if output noQuote };
+                    notification from { task queryAirlineTwo if output noQuote };
+                    notification from { task queryAirlineThree if output noQuote }
+                }
+            }
+        };
+        task flightReservation of taskclass FlightReservation
+        {
+            implementation { "code" is "refFlightReservation" };
+            inputs
+            {
+                input main
+                {
+                    inputobject flight from
+                    {
+                        flight of task checkFlightReservation if output flightFound
+                    }
+                }
+            }
+        };
+        task hotelReservation of taskclass HotelReservation
+        {
+            implementation { "code" is "refHotelReservation" };
+            inputs
+            {
+                input main
+                {
+                    notification from { task flightReservation if output reserved };
+                    inputobject request from
+                    {
+                        request of task dataAcquisition if output acquired
+                    }
+                }
+            }
+        };
+        task flightCancellation of taskclass FlightCancellation
+        {
+            implementation { "code" is "refFlightCancellation" };
+            inputs
+            {
+                input main
+                {
+                    notification from { task hotelReservation if output failed };
+                    inputobject plane from
+                    {
+                        plane of task flightReservation
+                    }
+                }
+            }
+        };
+        outputs
+        {
+            outcome success
+            {
+                outputobject cost from
+                {
+                    cost of task flightReservation if output costKnown
+                };
+                outputobject plane from
+                {
+                    plane of task flightReservation if output reserved
+                };
+                outputobject hotel from
+                {
+                    hotel of task hotelReservation if output booked
+                }
+            };
+            repeat outcome retry
+            {
+                notification from { task flightCancellation if output cancelled };
+                outputobject user from
+                {
+                    user of task businessReservation if input main
+                }
+            };
+            abort outcome reservationAborted
+            {
+                notification from
+                {
+                    task dataAcquisition if output acquisitionFailed;
+                    task checkFlightReservation if output noFlight;
+                    task flightReservation if output reservationFailed
+                }
+            }
+        }
+    };
+    task printTickets of taskclass PrintTickets
+    {
+        implementation { "code" is "refPrintTickets" };
+        inputs
+        {
+            input main
+            {
+                inputobject plane from
+                {
+                    plane of task businessReservation if output success
+                };
+                inputobject hotel from
+                {
+                    hotel of task businessReservation if output success
+                }
+            }
+        }
+    };
+    outputs
+    {
+        outcome tripArranged
+        {
+            outputobject tickets from
+            {
+                tickets of task printTickets if output printed
+            }
+        };
+        outcome tripFailed
+        {
+            notification from
+            {
+                task businessReservation if output reservationAborted
+            }
+        };
+        mark toPay
+        {
+            outputobject cost from
+            {
+                cost of task businessReservation if output success
+            }
+        }
+    }
+};
+"""
+
+ROOT_TASK = "tripReservation"
+
+
+def build() -> Script:
+    return compile_script(SCRIPT_TEXT)
+
+
+def default_registry(
+    airline_quotes: tuple = (None, 420.0, 380.0),
+    max_price: float = 500.0,
+    flight_ok: bool = True,
+    hotel_attempts_needed: int = 2,
+    hotel_max_tries: int = 3,
+    hotel_rounds_until_success: int = 1,
+    registry: Optional[ImplementationRegistry] = None,
+) -> ImplementationRegistry:
+    """Implementations driving every path of Figs. 8-9.
+
+    ``airline_quotes``: per-airline price or None (no quote).
+    ``hotel_attempts_needed``: how many repeat attempts before a booking
+    succeeds *within one BR round* (must be < ``hotel_max_tries`` to succeed).
+    ``hotel_rounds_until_success``: on earlier BR rounds the hotel never books
+    (forcing flight cancellation + BR retry); 1 means the first round works.
+    """
+    reg = registry or ImplementationRegistry()
+    state = {"round": 0}
+
+    @reg.implementation("refDataAcquisition")
+    def data_acquisition(ctx):
+        state["round"] += 1
+        user = ctx.value("user")
+        return outcome("acquired", request=f"request({user},max={max_price})")
+
+    def airline(index: int):
+        def query(ctx):
+            price = airline_quotes[index] if index < len(airline_quotes) else None
+            if price is None or price > max_price:
+                return outcome("noQuote")
+            return outcome("quote", flight=f"flight#{index}@{price}")
+
+        return query
+
+    reg.register("refQueryAirlineOne", airline(0))
+    reg.register("refQueryAirlineTwo", airline(1))
+    reg.register("refQueryAirlineThree", airline(2))
+
+    @reg.implementation("refFlightReservation")
+    def flight_reservation(ctx):
+        if not flight_ok:
+            return outcome("reservationFailed")
+        flight = ctx.value("flight")
+        price = float(str(flight).rsplit("@", 1)[1])
+        ctx.mark("costKnown", cost=price)
+        return outcome("reserved", plane=f"plane({flight})")
+
+    @reg.implementation("refHotelReservation")
+    def hotel_reservation(ctx):
+        if state["round"] < hotel_rounds_until_success:
+            if ctx.repeats + 1 < hotel_max_tries:
+                return repeat("tryAgain")
+            return outcome("failed")
+        if ctx.repeats < hotel_attempts_needed:
+            if ctx.repeats + 1 >= hotel_max_tries:
+                return outcome("failed")
+            return repeat("tryAgain")
+        return outcome("booked", hotel=f"hotel(after {ctx.repeats} retries)")
+
+    @reg.implementation("refFlightCancellation")
+    def flight_cancellation(ctx):
+        return outcome("cancelled")
+
+    @reg.implementation("refPrintTickets")
+    def print_tickets(ctx):
+        return outcome(
+            "printed", tickets=f"tickets[{ctx.value('plane')},{ctx.value('hotel')}]"
+        )
+
+    return reg

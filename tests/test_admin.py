@@ -1,0 +1,124 @@
+"""Tests for administrative applications expressed as workflows (§3)."""
+
+from repro.engine import LocalEngine
+from repro.services import WorkflowSystem, admin_registry, build_monitor, build_reconfigure
+from repro.lang import format_script
+from repro.workloads import diamond, paper_order
+
+
+class TestMonitorWorkflow:
+    def test_monitor_polls_until_target_finishes(self):
+        system = WorkflowSystem(workers=2)
+        paper_order.default_registry(registry=system.registry)
+        system.deploy("order", paper_order.SCRIPT_TEXT)
+        iid = system.instantiate("order", paper_order.ROOT_TASK, {"order": "o-1"})
+        system.run_until_terminal(iid)
+
+        # the monitor is itself a workflow, run by a (local) engine whose
+        # task implementation talks to the execution service via the ORB
+        monitor = build_monitor()
+        registry = admin_registry(system)
+        result = LocalEngine(registry).run(
+            monitor, inputs={"instance": iid}
+        )
+        assert result.completed
+        assert f"{iid}:completed:orderCompleted" == result.value("report")
+
+    def test_monitor_loops_with_repeat_while_running(self):
+        system = WorkflowSystem(workers=2)
+        paper_order.default_registry(registry=system.registry)
+        system.deploy("order", paper_order.SCRIPT_TEXT)
+        iid = system.instantiate("order", paper_order.ROOT_TASK, {"order": "o-1"})
+
+        # drive the target a bit between monitor polls by wiring the poll
+        # implementation to advance simulated time
+        monitor = build_monitor()
+        registry = admin_registry(system, max_polls=500)
+        original = registry.resolve("refCheckStatus")
+
+        def polling_with_progress(ctx):
+            system.clock.advance(10.0)
+            return original(ctx)
+
+        registry.register("refCheckStatus", polling_with_progress)
+        result = LocalEngine(registry).run(monitor, inputs={"instance": iid})
+        assert result.completed
+        assert "completed" in result.value("report")
+
+    def test_monitor_times_out_gracefully(self):
+        system = WorkflowSystem(workers=0 or 1)
+        paper_order.default_registry(registry=system.registry)
+        system.deploy("order", paper_order.SCRIPT_TEXT)
+        iid = system.instantiate("order", paper_order.ROOT_TASK, {"order": "o-1"})
+        # never advance the clock: the instance stays running
+        monitor = build_monitor()
+        registry = admin_registry(system, max_polls=3)
+        result = LocalEngine(registry, max_repeats=100).run(
+            monitor, inputs={"instance": iid}
+        )
+        assert result.completed
+        assert "timeout" in result.value("report")
+
+
+class TestReconfigureWorkflow:
+    def test_reconfiguration_applied_as_a_workflow(self):
+        from repro.core import AddTask, Implementation
+        from repro.core.schema import (
+            GuardKind,
+            InputObjectBinding,
+            InputSetBinding,
+            Source,
+            TaskDecl,
+        )
+        from repro.engine import outcome as mk_outcome
+
+        script, registry, root, inputs = diamond()
+        registry.register("join2", lambda ctx: mk_outcome("done", out="j2"))
+        system = WorkflowSystem(workers=1, registry=registry)
+        system.deploy("diamond", format_script(script))
+        iid = system.instantiate("diamond", root, inputs)
+
+        t5 = TaskDecl(
+            "t5",
+            "Join",
+            Implementation.of(code="join2"),
+            (
+                InputSetBinding(
+                    "main",
+                    (
+                        InputObjectBinding(
+                            "left", (Source("t2", "out", GuardKind.OUTPUT, "done"),)
+                        ),
+                        InputObjectBinding(
+                            "right", (Source("t3", "out", GuardKind.OUTPUT, "done"),)
+                        ),
+                    ),
+                ),
+            ),
+        )
+        new_text = format_script(AddTask("fig1", t5).apply_checked(script))
+
+        reconfigure = build_reconfigure()
+        admin = admin_registry(system)
+        result = LocalEngine(admin).run(
+            reconfigure, inputs={"instance": iid, "script": new_text}
+        )
+        assert result.completed
+        assert result.outcome == "applied"
+        runtime = system.execution.runtimes[iid]
+        assert runtime.tree.script.tasks["fig1"].task("t5") is not None
+
+    def test_rejected_reconfiguration_reports_refused(self):
+        script, registry, root, inputs = diamond()
+        system = WorkflowSystem(workers=1, registry=registry)
+        system.deploy("diamond", format_script(script))
+        iid = system.instantiate("diamond", root, inputs)
+        reconfigure = build_reconfigure()
+        admin = admin_registry(system)
+        result = LocalEngine(admin).run(
+            reconfigure,
+            inputs={"instance": iid, "script": "this is not a script"},
+        )
+        assert result.completed
+        assert result.outcome == "rejected"
+        assert "refused" in result.value("report")

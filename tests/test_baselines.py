@@ -1,0 +1,145 @@
+"""Tests for the ECA and Petri-net baselines: agreement with the reference
+engine on every path of the paper's (acyclic) applications, plus the
+limitations experiment E12 reports."""
+
+import pytest
+
+from repro.baselines import EcaWorkflow, PetriWorkflow
+from repro.core.errors import ExecutionError
+from repro.engine import LocalEngine
+from repro.workloads import chain, diamond, paper_order, paper_service_impact, paper_trip
+
+
+ORDER_CASES = [
+    dict(),
+    dict(authorise=False),
+    dict(in_stock=False),
+    dict(dispatch_ok=False),
+]
+
+
+class TestAgreementWithEngine:
+    @pytest.mark.parametrize("case", ORDER_CASES)
+    def test_eca_matches_engine_on_order_app(self, case):
+        script = paper_order.build()
+        reference = LocalEngine(paper_order.default_registry(**case)).run(
+            script, inputs={"order": "o"}
+        )
+        eca = EcaWorkflow(
+            script, paper_order.ROOT_TASK, paper_order.default_registry(**case)
+        ).run({"order": "o"})
+        assert eca["outcome"] == reference.outcome
+
+    @pytest.mark.parametrize("case", ORDER_CASES)
+    def test_petrinet_matches_engine_on_order_app(self, case):
+        script = paper_order.build()
+        reference = LocalEngine(paper_order.default_registry(**case)).run(
+            script, inputs={"order": "o"}
+        )
+        net = PetriWorkflow(
+            script, paper_order.ROOT_TASK, paper_order.default_registry(**case)
+        ).run({"order": "o"})
+        assert net["outcome"] == reference.outcome
+
+    @pytest.mark.parametrize("resolvable", [True, False])
+    def test_baselines_match_on_service_impact(self, resolvable):
+        script = paper_service_impact.build()
+        make = lambda: paper_service_impact.default_registry(resolvable=resolvable)
+        reference = LocalEngine(make()).run(script, inputs={"alarmsSource": "a"})
+        root = paper_service_impact.ROOT_TASK
+        assert EcaWorkflow(script, root, make()).run({"alarmsSource": "a"})[
+            "outcome"
+        ] == reference.outcome
+        assert PetriWorkflow(script, root, make()).run({"alarmsSource": "a"})[
+            "outcome"
+        ] == reference.outcome
+
+    def test_baselines_match_on_synthetic_chain(self):
+        script, registry, root, inputs = chain(10)
+        reference = LocalEngine(registry).run(script, root, inputs=inputs)
+        assert (
+            EcaWorkflow(script, root, registry).run(inputs)["objects"]["out"]
+            == reference.value("out")
+        )
+        assert (
+            PetriWorkflow(script, root, registry).run(inputs)["objects"]["out"]
+            == reference.value("out")
+        )
+
+    def test_baselines_match_on_diamond(self):
+        script, registry, root, inputs = diamond()
+        reference = LocalEngine(registry).run(script, root, inputs=inputs)
+        assert (
+            EcaWorkflow(script, root, registry).run(inputs)["outcome"]
+            == reference.outcome
+        )
+        assert (
+            PetriWorkflow(script, root, registry).run(inputs)["outcome"]
+            == reference.outcome
+        )
+
+
+class TestBaselineLimitations:
+    def test_eca_rejects_repeat_outcomes(self):
+        # E12 data point: rule encodings cannot express the trip app's loop
+        script = paper_trip.build()
+        with pytest.raises(ExecutionError):
+            EcaWorkflow(script, paper_trip.ROOT_TASK, paper_trip.default_registry())
+
+    def test_petrinet_rejects_repeat_outcomes(self):
+        script = paper_trip.build()
+        with pytest.raises(ExecutionError):
+            PetriWorkflow(script, paper_trip.ROOT_TASK, paper_trip.default_registry())
+
+
+class TestSpecificationSize:
+    def test_rule_count_grows_with_tasks_and_outputs(self):
+        script = paper_order.build()
+        eca = EcaWorkflow(script, paper_order.ROOT_TASK, paper_order.default_registry())
+        # one rule per (task, input set) + one per compound output mapping
+        assert eca.rule_count == 4 + 2
+
+    def test_net_size_reported(self):
+        script = paper_order.build()
+        net = PetriWorkflow(script, paper_order.ROOT_TASK, paper_order.default_registry())
+        assert net.transition_count == 6
+        assert net.place_count >= 8  # output places are added as tokens land
+
+    def test_firings_bounded_by_transitions(self):
+        script = paper_order.build()
+        net = PetriWorkflow(script, paper_order.ROOT_TASK, paper_order.default_registry())
+        result = net.run({"order": "o"})
+        assert result["firings"] <= net.transition_count
+
+
+class TestEcaMechanics:
+    def test_rule_engine_reaches_fixpoint(self):
+        from repro.baselines import Rule, RuleEngine
+
+        engine = RuleEngine(
+            [
+                Rule(
+                    "second",
+                    lambda m: {} if m.holds(("f", "a")) else None,
+                    lambda m, b: m.assert_fact(("f", "b")),
+                ),
+                Rule(
+                    "first",
+                    lambda m: {},
+                    lambda m, b: m.assert_fact(("f", "a")),
+                ),
+            ]
+        )
+        engine.run()
+        assert engine.memory.holds(("f", "b"))
+        assert engine.firings == 2
+
+    def test_rules_fire_once(self):
+        from repro.baselines import Rule, RuleEngine
+
+        count = []
+        engine = RuleEngine(
+            [Rule("r", lambda m: {}, lambda m, b: count.append(1))]
+        )
+        engine.run()
+        assert count == [1]

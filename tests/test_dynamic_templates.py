@@ -1,0 +1,148 @@
+"""Tests for dynamic template expansion (§5.3's "dynamic task" pattern) and
+the per-task monitoring view."""
+
+import pytest
+
+from repro.core import (
+    AddTemplateInstances,
+    ReconfigurationError,
+    ReplaceOutputMapping,
+    ScriptBuilder,
+    apply_changes,
+    from_input,
+    from_output,
+)
+from repro.core.schema import (
+    GuardKind,
+    Implementation,
+    InputObjectBinding,
+    InputSetBinding,
+    OutputBinding,
+    OutputObjectBinding,
+    Source,
+    TaskDecl,
+    TaskTemplate,
+)
+from repro.engine import ImplementationRegistry, LocalEngine, outcome
+from repro.services import WorkflowSystem
+from repro.workloads import paper_order
+
+
+def fanout_script():
+    """A compound with one query task, plus a template for stamping more."""
+    b = ScriptBuilder()
+    b.object_class("Data")
+    b.taskclass("Query").input_set("main", request="Data").outcome(
+        "quote", flight="Data"
+    ).outcome("noQuote")
+    b.taskclass("Root").input_set("main", request="Data").outcome(
+        "found", flight="Data"
+    )
+    c = b.compound("search", "Root")
+    c.task("q1", "Query").implementation(code="refQ1").input(
+        "main", "request", from_input("search", "main", "request")
+    ).up()
+    c.output("found").object("flight", from_output("q1", "quote", "flight")).up()
+    c.up()
+    template_body = TaskDecl(
+        "query",
+        "Query",
+        Implementation.of(code="refDynamic"),
+        (
+            InputSetBinding(
+                "main",
+                (
+                    InputObjectBinding(
+                        "request",
+                        (Source("search", "request", GuardKind.INPUT, "main"),),
+                    ),
+                ),
+            ),
+        ),
+    )
+    script = b.build(validate=False)
+    script.add_template(TaskTemplate("QueryTemplate", (), template_body))
+    from repro.core import check
+
+    return check(script)
+
+
+class TestAddTemplateInstances:
+    def test_static_expansion(self):
+        script = fanout_script()
+        change = AddTemplateInstances(
+            "search", "QueryTemplate", (("q2", ()), ("q3", ()))
+        )
+        new_script = change.apply_checked(script)
+        search = new_script.tasks["search"]
+        assert {t.name for t in search.tasks} == {"q1", "q2", "q3"}
+        assert search.task("q2").implementation.code == "refDynamic"
+
+    def test_duplicate_name_rejected(self):
+        script = fanout_script()
+        with pytest.raises(ReconfigurationError):
+            AddTemplateInstances("search", "QueryTemplate", (("q1", ()),)).apply(script)
+
+    def test_unknown_template_rejected(self):
+        with pytest.raises(ReconfigurationError):
+            AddTemplateInstances("search", "Ghost", (("q2", ()),)).apply(fanout_script())
+
+    def test_dynamic_fanout_on_running_instance(self):
+        """q1 has no quote; at run time two more queries are stamped from the
+        template and the output rewired to accept any of them."""
+        script = fanout_script()
+        registry = ImplementationRegistry()
+        registry.register("refQ1", lambda ctx: outcome("noQuote"))
+        registry.register(
+            "refDynamic", lambda ctx: outcome("quote", flight=f"flight-of-{ctx.task_path}")
+        )
+        wf = LocalEngine(registry).workflow(script)
+        wf.start({"request": "LHR->AMS"})
+        wf.run_to_completion()  # q1 found nothing; the compound is stuck
+        assert wf.status.value == "stalled"
+
+        grow = AddTemplateInstances("search", "QueryTemplate", (("q2", ()), ("q3", ())))
+        rewire = ReplaceOutputMapping(
+            "search",
+            OutputBinding(
+                "found",
+                (
+                    OutputObjectBinding(
+                        "flight",
+                        (
+                            Source("q1", "flight", GuardKind.OUTPUT, "quote"),
+                            Source("q2", "flight", GuardKind.OUTPUT, "quote"),
+                            Source("q3", "flight", GuardKind.OUTPUT, "quote"),
+                        ),
+                    ),
+                ),
+            ),
+        )
+        wf.reconfigure(apply_changes(wf.tree.script, [grow, rewire]))
+        result = wf.run_to_completion()
+        assert result.completed
+        assert result.value("flight") == "flight-of-search/q2"
+
+
+class TestTasksView:
+    def test_tasks_view_shows_states(self):
+        system = WorkflowSystem(workers=2)
+        paper_order.default_registry(registry=system.registry)
+        system.deploy("order", paper_order.SCRIPT_TEXT)
+        iid = system.instantiate("order", paper_order.ROOT_TASK, {"order": "o"})
+        system.run_until_terminal(iid)
+        rows = {row["path"]: row for row in system.execution_proxy().tasks(iid)}
+        assert rows["processOrderApplication"]["state"] == "completed"
+        assert rows["processOrderApplication"]["outcome"] == "orderCompleted"
+        assert rows["processOrderApplication/dispatch"]["starts"] == 1
+        assert rows["processOrderApplication/dispatch"]["compound"] is False
+
+    def test_tasks_view_mid_run(self):
+        system = WorkflowSystem(workers=1)
+        paper_order.default_registry(registry=system.registry)
+        system.deploy("order", paper_order.SCRIPT_TEXT)
+        iid = system.instantiate("order", paper_order.ROOT_TASK, {"order": "o"})
+        rows = {row["path"]: row for row in system.execution_proxy().tasks(iid)}
+        assert rows["processOrderApplication"]["state"] == "executing"
+        in_flight = [p for p, r in rows.items() if r["in_flight"]]
+        assert in_flight  # something has been dispatched

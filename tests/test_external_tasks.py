@@ -1,0 +1,168 @@
+"""Tests for external (interactive / long-running) task completion.
+
+§1: applications "may contain long periods of inactivity, often due to the
+constituent applications requiring user interactions".  A task implementation
+returns ``pending()``; the engine parks it and an external agent supplies the
+outcome later.
+"""
+
+import pytest
+
+from repro.core import ScriptBuilder, from_input, from_output
+from repro.core.errors import ExecutionError
+from repro.engine import (
+    ImplementationRegistry,
+    LocalEngine,
+    WorkflowStatus,
+    outcome,
+    pending,
+)
+from repro.lang import format_script
+from repro.services import WorkflowSystem
+
+
+def approval_script():
+    """Order flow with a human approval step in the middle."""
+    b = ScriptBuilder()
+    b.object_class("Data")
+    b.taskclass("Prepare").input_set("main", inp="Data").outcome("ready", out="Data")
+    (
+        b.taskclass("Approve")
+        .input_set("main", request="Data")
+        .outcome("approved", decision="Data")
+        .outcome("denied")
+    )
+    b.taskclass("Ship").input_set("main", decision="Data").outcome("shipped", out="Data")
+    b.taskclass("Root").input_set("main", inp="Data").outcome(
+        "done", out="Data"
+    ).outcome("rejected")
+    c = b.compound("wf", "Root")
+    c.task("prepare", "Prepare").implementation(code="prepare").input(
+        "main", "inp", from_input("wf", "main", "inp")
+    ).up()
+    c.task("approve", "Approve").implementation(code="approve").input(
+        "main", "request", from_output("prepare", "ready", "out")
+    ).up()
+    c.task("ship", "Ship").implementation(code="ship").input(
+        "main", "decision", from_output("approve", "approved", "decision")
+    ).up()
+    c.output("done").object("out", from_output("ship", "shipped", "out")).up()
+    c.output("rejected").notify(from_output("approve", "denied")).up()
+    c.up()
+    return b.build()
+
+
+def base_registry():
+    reg = ImplementationRegistry()
+    reg.register("prepare", lambda ctx: outcome("ready", out=f"req:{ctx.value('inp')}"))
+    reg.register("approve", lambda ctx: pending("waiting for a human"))
+    reg.register("ship", lambda ctx: outcome("shipped", out=f"shipped:{ctx.value('decision')}"))
+    return reg
+
+
+class TestLocalExternalTasks:
+    def test_workflow_parks_at_pending_task(self):
+        wf = LocalEngine(base_registry()).workflow(approval_script())
+        wf.start({"inp": "o-1"})
+        wf.run_to_completion()
+        assert wf.status is WorkflowStatus.STALLED  # parked, nothing ready
+        from repro.core.states import TaskState
+
+        assert wf.tree.node_at("wf/approve").machine.state is TaskState.EXECUTING
+
+    def test_external_completion_resumes(self):
+        wf = LocalEngine(base_registry()).workflow(approval_script())
+        wf.start({"inp": "o-1"})
+        wf.run_to_completion()
+        wf.complete_external("wf/approve", "approved", decision="yes-by-alice")
+        result = wf.run_to_completion()
+        assert result.completed
+        assert result.value("out") == "shipped:yes-by-alice"
+
+    def test_external_denial_takes_the_other_path(self):
+        wf = LocalEngine(base_registry()).workflow(approval_script())
+        wf.start({"inp": "o-1"})
+        wf.run_to_completion()
+        wf.complete_external("wf/approve", "denied")
+        result = wf.run_to_completion()
+        assert result.outcome == "rejected"
+
+    def test_unknown_output_rejected(self):
+        wf = LocalEngine(base_registry()).workflow(approval_script())
+        wf.start({"inp": "o-1"})
+        wf.run_to_completion()
+        with pytest.raises(ExecutionError):
+            wf.complete_external("wf/approve", "maybe")
+
+    def test_completion_of_non_executing_task_rejected(self):
+        wf = LocalEngine(base_registry()).workflow(approval_script())
+        wf.start({"inp": "o-1"})
+        wf.run_to_completion()
+        with pytest.raises(ExecutionError):
+            wf.complete_external("wf/ship", "shipped", out="x")
+
+
+class TestDistributedExternalTasks:
+    def make_system(self):
+        system = WorkflowSystem(workers=2, registry=base_registry())
+        system.deploy("approval", format_script(approval_script()))
+        iid = system.instantiate("approval", "wf", {"inp": "o-9"})
+        system.clock.advance(50.0)
+        return system, iid
+
+    def test_status_reports_awaiting_external(self):
+        system, iid = self.make_system()
+        status = system.status(iid)
+        assert status["status"] == "running"  # parked, not stalled
+        assert status["awaiting_external"] == 1
+        assert system.execution_proxy().external_tasks(iid) == ["wf/approve"]
+
+    def test_complete_task_through_the_orb(self):
+        system, iid = self.make_system()
+        system.execution_proxy().complete_task(
+            iid, "wf/approve", "approved", {"decision": "ok"}
+        )
+        result = system.run_until_terminal(iid, max_time=5_000)
+        assert result["status"] == "completed"
+        assert result["objects"]["out"]["value"] == "shipped:ok"
+
+    def test_sweeper_does_not_redispatch_parked_tasks(self):
+        system, iid = self.make_system()
+        before = system.execution.stats["dispatches"]
+        system.clock.advance(500.0)  # many sweep intervals
+        assert system.execution.stats["dispatches"] == before
+
+    def test_parked_task_survives_crash(self):
+        system, iid = self.make_system()
+        system.execution_node.crash()
+        system.execution_node.recover()
+        assert system.execution.external_tasks(iid) == ["wf/approve"]
+        # and the sweeper still leaves it alone
+        system.clock.advance(200.0)
+        status = system.status(iid)
+        assert status["awaiting_external"] == 1
+        # completion still works after recovery
+        system.execution_proxy().complete_task(
+            iid, "wf/approve", "approved", {"decision": "post-crash"}
+        )
+        result = system.run_until_terminal(iid, max_time=5_000)
+        assert result["status"] == "completed"
+        assert result["objects"]["out"]["value"] == "shipped:post-crash"
+
+    def test_completion_itself_survives_crash(self):
+        system, iid = self.make_system()
+        system.execution_proxy().complete_task(
+            iid, "wf/approve", "approved", {"decision": "ok"}
+        )
+        result = system.run_until_terminal(iid, max_time=5_000)
+        assert result["status"] == "completed"
+        system.execution_node.crash()
+        system.execution_node.recover()
+        again = system.execution.result(iid)
+        assert again["outcome"] == result["outcome"]
+        assert again["objects"] == result["objects"]
+
+    def test_completing_unparked_task_rejected(self):
+        system, iid = self.make_system()
+        with pytest.raises(Exception):
+            system.execution_proxy().complete_task(iid, "wf/ship", "shipped", {"out": "x"})

@@ -1,0 +1,94 @@
+"""Unit tests for fault-injection schedules."""
+
+from repro.net.clock import EventClock
+from repro.net.failures import FaultPlan, RandomCrasher
+from repro.net.network import Network
+from repro.net.node import Node
+
+
+def world():
+    clock = EventClock()
+    net = Network(clock)
+    return clock, net
+
+
+class TestFaultPlan:
+    def test_crash_at_scheduled_time(self):
+        clock, net = world()
+        node = Node("a", clock, net)
+        FaultPlan(clock).crash_at(node, when=5.0).arm()
+        clock.run(until=4.9)
+        assert node.alive
+        clock.run(until=5.1)
+        assert not node.alive
+
+    def test_recovery_after_downtime(self):
+        clock, net = world()
+        node = Node("a", clock, net)
+        FaultPlan(clock).crash_at(node, when=5.0, down_for=3.0).arm()
+        clock.run(until=6.0)
+        assert not node.alive
+        clock.run(until=8.5)
+        assert node.alive
+
+    def test_permanent_crash_without_down_for(self):
+        clock, net = world()
+        node = Node("a", clock, net)
+        FaultPlan(clock).crash_at(node, when=1.0).arm()
+        clock.run(until=100.0)
+        assert not node.alive
+
+    def test_arm_is_idempotent(self):
+        clock, net = world()
+        node = Node("a", clock, net)
+        plan = FaultPlan(clock).crash_at(node, when=1.0, down_for=1.0)
+        plan.arm()
+        plan.arm()
+        assert len(plan.history) == 1
+
+    def test_multiple_nodes(self):
+        clock, net = world()
+        a, b = Node("a", clock, net), Node("b", clock, net)
+        FaultPlan(clock).crash_at(a, when=1.0).crash_at(b, when=2.0).arm()
+        clock.run(until=3.0)
+        assert not a.alive and not b.alive
+
+
+class TestRandomCrasher:
+    def test_injects_crashes_and_recoveries(self):
+        clock, net = world()
+        nodes = [Node(f"n{i}", clock, net) for i in range(3)]
+        crasher = RandomCrasher(clock, nodes, interval=10.0, downtime=5.0, seed=1).start()
+        clock.run(until=500.0)
+        assert len(crasher.injected) > 5
+        crasher.stop()
+        clock.run()  # drain pending recoveries
+        assert all(n.alive for n in nodes)
+
+    def test_limit_bounds_injections(self):
+        clock, net = world()
+        nodes = [Node("n", clock, net)]
+        crasher = RandomCrasher(clock, nodes, interval=1.0, downtime=0.5, seed=2, limit=4).start()
+        clock.run(until=1000.0)
+        assert len(crasher.injected) == 4
+
+    def test_stop_halts_injection(self):
+        clock, net = world()
+        nodes = [Node("n", clock, net)]
+        crasher = RandomCrasher(clock, nodes, interval=1.0, downtime=0.5, seed=3).start()
+        clock.run(until=10.0)
+        count = len(crasher.injected)
+        crasher.stop()
+        clock.run(until=100.0)
+        assert len(crasher.injected) == count
+
+    def test_deterministic_under_seed(self):
+        def run(seed):
+            clock, net = world()
+            nodes = [Node(f"n{i}", clock, net) for i in range(2)]
+            crasher = RandomCrasher(clock, nodes, interval=5.0, downtime=2.0, seed=seed).start()
+            clock.run(until=200.0)
+            return [(e.node, e.crash_time) for e in crasher.injected]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)

@@ -1,0 +1,133 @@
+"""Detailed formatter coverage: compound templates, implementation property
+ordering, nested output kinds."""
+
+from repro.core.schema import OutputKind
+from repro.lang import compile_script, format_script, parse
+
+
+COMPOUND_TEMPLATE = """
+class Data;
+
+taskclass Leaf
+{
+    inputs { input main { inp of class Data } };
+    outputs { outcome done { out of class Data } }
+};
+
+taskclass Wrap
+{
+    inputs { input main { inp of class Data } };
+    outputs { outcome done { out of class Data } }
+};
+
+tasktemplate compoundtask wrapper of taskclass Wrap
+{
+    parameters { feeder };
+    inputs
+    {
+        input main
+        {
+            inputobject inp from { out of task feeder if output done }
+        }
+    };
+    task leaf of taskclass Leaf
+    {
+        implementation { "code" is "leaf" };
+        inputs
+        {
+            input main
+            {
+                inputobject inp from { inp of task wrapper if input main }
+            }
+        }
+    };
+    outputs
+    {
+        outcome done { outputobject out from { out of task leaf if output done } }
+    }
+};
+"""
+
+
+class TestCompoundTemplates:
+    def test_compound_template_parses(self):
+        script = parse(COMPOUND_TEMPLATE)
+        template = script.templates["wrapper"]
+        assert template.parameters == ("feeder",)
+        assert template.body.is_compound
+        assert template.body.task("leaf") is not None
+
+    def test_compound_template_roundtrips(self):
+        script = parse(COMPOUND_TEMPLATE)
+        again = parse(format_script(script))
+        assert again.templates["wrapper"].body == script.templates["wrapper"].body
+
+    def test_compound_template_instantiates_with_substitution(self):
+        text = COMPOUND_TEMPLATE + """
+        taskclass Source { outputs { outcome done { out of class Data } } };
+        task src of taskclass Source { implementation { "code" is "src" } };
+        w1 of tasktemplate wrapper(src);
+        """
+        script = parse(text)
+        w1 = script.tasks["w1"]
+        source = w1.input_sets[0].objects[0].sources[0]
+        assert source.task_name == "src"
+        # inner references to the template's own name were renamed
+        inner_source = w1.task("leaf").input_sets[0].objects[0].sources[0]
+        assert inner_source.task_name == "w1"
+
+
+class TestImplementationFormatting:
+    def test_multiple_properties_roundtrip(self):
+        text = """
+        taskclass T { outputs { outcome ok { } } }
+        task t of taskclass T
+        {
+            implementation
+            {
+                "code" is "refT", "priority" is "3", "location" is "worker-2",
+                "deadline" is "60"
+            }
+        }
+        """
+        script = parse(text)
+        again = parse(format_script(script))
+        assert again.tasks["t"].implementation == script.tasks["t"].implementation
+        assert again.tasks["t"].implementation.get("location") == "worker-2"
+
+    def test_empty_implementation_omitted(self):
+        text = 'taskclass T { outputs { outcome ok { } } } task t of taskclass T { }'
+        rendered = format_script(parse(text))
+        assert "implementation" not in rendered
+
+
+class TestOutputKindRendering:
+    def test_every_kind_renders_and_reparses(self):
+        text = """
+        class Data;
+        taskclass T
+        {
+            outputs
+            {
+                outcome a { x of class Data };
+                repeat outcome c { };
+                mark d { y of class Data }
+            }
+        }
+        taskclass U { outputs { outcome ok { }; abort outcome b { } } }
+        """
+        script = parse(text)
+        again = parse(format_script(script))
+        t = again.taskclasses["T"]
+        assert t.output("a").kind is OutputKind.OUTCOME
+        assert t.output("c").kind is OutputKind.REPEAT
+        assert t.output("d").kind is OutputKind.MARK
+        assert again.taskclasses["U"].output("b").kind is OutputKind.ABORT
+
+    def test_compound_mark_output_mapping_renders_kind(self):
+        from repro.workloads import paper_trip
+
+        rendered = format_script(paper_trip.build())
+        assert "mark toPay" in rendered
+        assert "repeat outcome retry" in rendered
+        assert "abort outcome reservationAborted" in rendered

@@ -1,0 +1,52 @@
+"""Fuzzing the language front end: arbitrary input must produce clean errors
+(ParseError / ValidationReport), never an internal exception."""
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ParseError, SchemaError, ValidationReport
+from repro.lang import compile_script, parse, tokenize
+
+settings.register_profile(
+    "repro-fuzz", deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+settings.load_profile("repro-fuzz")
+
+# alphabets biased towards the language's own lexemes so the fuzzer reaches
+# deep into the parser instead of dying at the first character
+fragments = st.sampled_from(
+    [
+        "class", "taskclass", "task", "compoundtask", "tasktemplate",
+        "inputs", "outputs", "input", "output", "inputobject", "outputobject",
+        "notification", "from", "of", "if", "outcome", "abort", "repeat",
+        "mark", "implementation", "is", "parameters", "extends",
+        "{", "}", "(", ")", ";", ",", '"x"', "“y”", "foo", "bar", "t1",
+        "main", "//c\n", "/*c*/", " ", "\n",
+    ]
+)
+
+
+@given(st.lists(fragments, max_size=60).map(" ".join))
+def test_parser_never_raises_internal_errors(text):
+    try:
+        compile_script(text)
+    except (ParseError, ValidationReport, SchemaError):
+        pass  # clean, reported errors are fine
+
+
+@given(st.text(alphabet=string.printable, max_size=200))
+def test_lexer_never_raises_internal_errors(text):
+    try:
+        tokenize(text)
+    except ParseError:
+        pass
+
+
+@given(st.text(alphabet=string.printable, max_size=120))
+def test_parser_on_arbitrary_text(text):
+    try:
+        parse(text)
+    except (ParseError, SchemaError):
+        pass

@@ -1,0 +1,86 @@
+"""Unit tests for dependency-graph extraction (the figure structures)."""
+
+from repro.core import dependency_graph, find_cycles, structure_summary
+from repro.workloads import diamond, paper_order, paper_trip
+
+
+class TestDiamond:
+    def test_fig1_shape(self):
+        script, _reg, root, _inputs = diamond()
+        compound = script.tasks[root]
+        graph = dependency_graph(compound)
+        assert set(graph.nodes) == {"fig1", "t1", "t2", "t3", "t4"}
+        # t2 and t3 both depend on t1; t4 on both t2 and t3
+        assert graph.has_edge("t1", "t2")
+        assert graph.has_edge("t1", "t3")
+        assert graph.has_edge("t2", "t4")
+        assert graph.has_edge("t3", "t4")
+
+    def test_fig1_arc_flavours(self):
+        script, _reg, root, _inputs = diamond()
+        graph = dependency_graph(script.tasks[root])
+        flavours = {
+            (u, v): d["flavour"] for u, v, d in graph.edges(data=True) if u != "fig1"
+        }
+        assert flavours[("t1", "t2")] == "notify"   # dotted arc in Fig. 1
+        assert flavours[("t1", "t3")] == "data"     # solid arc
+        assert flavours[("t2", "t4")] == "data"
+        assert flavours[("t3", "t4")] == "data"
+
+    def test_fig1_acyclic(self):
+        script, _reg, root, _inputs = diamond()
+        assert find_cycles(script.tasks[root], script) == []
+
+
+class TestOrderStructure:
+    def test_fig7_summary(self):
+        script = paper_order.build()
+        summary = structure_summary(script.tasks[paper_order.ROOT_TASK])
+        assert summary["tasks"] == 4
+        assert summary["outputs"] == 2
+
+    def test_fig7_acyclic(self):
+        script = paper_order.build()
+        assert find_cycles(script.tasks[paper_order.ROOT_TASK], script) == []
+
+    def test_fig7_parallel_branches(self):
+        script = paper_order.build()
+        graph = dependency_graph(script.tasks[paper_order.ROOT_TASK])
+        # no edge between the two parallel front tasks
+        assert not graph.has_edge("paymentAuthorisation", "checkStock")
+        assert not graph.has_edge("checkStock", "paymentAuthorisation")
+        assert graph.has_edge("paymentAuthorisation", "dispatch")
+        assert graph.has_edge("checkStock", "dispatch")
+        assert graph.has_edge("dispatch", "paymentCapture")
+
+
+class TestTripStructure:
+    def test_fig8_top_level(self):
+        script = paper_trip.build()
+        trip = script.tasks[paper_trip.ROOT_TASK]
+        assert {t.name for t in trip.tasks} == {"businessReservation", "printTickets"}
+
+    def test_fig9_business_reservation_constituents(self):
+        script = paper_trip.build()
+        trip = script.tasks[paper_trip.ROOT_TASK]
+        br = trip.task("businessReservation")
+        assert {t.name for t in br.tasks} == {
+            "dataAcquisition",
+            "checkFlightReservation",
+            "flightReservation",
+            "hotelReservation",
+            "flightCancellation",
+        }
+
+    def test_repeat_loop_not_reported_as_cycle(self):
+        script = paper_trip.build()
+        trip = script.tasks[paper_trip.ROOT_TASK]
+        br = trip.task("businessReservation")
+        assert find_cycles(br, script) == []
+
+    def test_compensation_edge_present(self):
+        script = paper_trip.build()
+        br = script.tasks[paper_trip.ROOT_TASK].task("businessReservation")
+        graph = dependency_graph(br)
+        assert graph.has_edge("hotelReservation", "flightCancellation")
+        assert graph.has_edge("flightReservation", "flightCancellation")

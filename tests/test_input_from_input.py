@@ -1,0 +1,147 @@
+"""The paper's §4.3 dataflow example, end to end.
+
+"In the example below a task instance t1 is specifying that its input object
+reference i1 can be satisfied by any of: task t2's input object i3 from the
+input set main, task t3's output object o1 if t3's outcome is oc1 or task
+t3's output object o2 if t3's outcome is oc2."
+"""
+
+import pytest
+
+from repro.engine import ImplementationRegistry, LocalEngine, outcome
+from repro.lang import compile_script
+
+SCRIPT = """
+class C;
+
+taskclass TC1
+{
+    inputs { input main { i1 of class C; i2 of class C } };
+    outputs { outcome done { r of class C } }
+};
+
+taskclass TC2
+{
+    inputs { input main { i3 of class C } };
+    outputs { outcome oc9 { } }
+};
+
+taskclass TC3
+{
+    inputs { input main { seed of class C } };
+    outputs
+    {
+        outcome oc1 { o1 of class C };
+        outcome oc2 { o2 of class C }
+    }
+};
+
+taskclass TC4
+{
+    inputs { input main { seed of class C } };
+    outputs { outcome oc1 { o1 of class C } }
+};
+
+taskclass Root
+{
+    inputs { input main { seed of class C } };
+    outputs { outcome done { r of class C } }
+};
+
+compoundtask wf of taskclass Root
+{
+    task t2 of taskclass TC2
+    {
+        implementation { "code" is "t2" };
+        inputs { input main { inputobject i3 from
+            { seed of task wf if input main } } }
+    };
+    task t3 of taskclass TC3
+    {
+        implementation { "code" is "t3" };
+        inputs { input main { inputobject seed from
+            { seed of task wf if input main } } }
+    };
+    task t4 of taskclass TC4
+    {
+        implementation { "code" is "t4" };
+        inputs { input main { inputobject seed from
+            { seed of task wf if input main } } }
+    };
+    task t1 of taskclass TC1
+    {
+        implementation { "code" is "t1" };
+        inputs
+        {
+            input main
+            {
+                inputobject i1 from
+                {
+                    i3 of task t2 if input main;
+                    o1 of task t3 if output oc1;
+                    o2 of task t3 if output oc2
+                };
+                inputobject i2 from
+                {
+                    o1 of task t4 if output oc1
+                }
+            }
+        }
+    };
+    outputs
+    {
+        outcome done { outputobject r from { r of task t1 if output done } }
+    }
+};
+"""
+
+
+def registry(t3_outcome="oc1"):
+    reg = ImplementationRegistry()
+    reg.register("t2", lambda ctx: outcome("oc9"))
+    reg.register(
+        "t3",
+        lambda ctx: outcome("oc1", o1="o1-value")
+        if t3_outcome == "oc1"
+        else outcome("oc2", o2="o2-value"),
+    )
+    reg.register("t4", lambda ctx: outcome("oc1", o1="t4-o1"))
+    reg.register(
+        "t1",
+        lambda ctx: outcome("done", r=f"i1={ctx.value('i1')} i2={ctx.value('i2')}"),
+    )
+    return reg
+
+
+class TestPaperSection43Example:
+    def test_script_compiles(self):
+        compile_script(SCRIPT)
+
+    def test_i1_taken_from_t2s_input(self):
+        """The first-listed alternative is t2's *input object* i3 — t1 gets
+        the very value the environment fed into t2, as soon as t2 starts."""
+        script = compile_script(SCRIPT)
+        result = LocalEngine(registry()).run(script, inputs={"seed": "SEED"})
+        assert result.completed
+        # i1 came from t2's input (the seed), i2 from t4's o1
+        assert result.value("r") == "i1=SEED i2=t4-o1"
+
+    def test_alternatives_fall_back_to_t3_outputs(self):
+        """With t2 removed from the running set (its source renamed away),
+        t1 falls back to t3's outcome objects, whichever outcome occurred."""
+        # build a variant where t2's alternative can never fire: t2 consumes
+        # a different input set name that the compound never provides
+        variant = SCRIPT.replace("i3 of task t2 if input main", "o1 of task t3 if output oc1")
+        script = compile_script(variant)
+        result = LocalEngine(registry("oc2")).run(script, inputs={"seed": "S"})
+        assert result.completed
+        assert result.value("r") == "i1=o2-value i2=t4-o1"
+
+    def test_provenance_of_input_from_input(self):
+        script = compile_script(SCRIPT)
+        result = LocalEngine(registry()).run(script, inputs={"seed": "SEED"})
+        from repro.core.selection import EventKind
+
+        t1_input = result.log.first("wf/t1", EventKind.INPUT)
+        i1 = t1_input.event.objects["i1"]
+        assert i1.value == "SEED"

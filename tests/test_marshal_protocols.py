@@ -1,0 +1,80 @@
+"""Additional coverage for ORB marshalling protocols: transferable
+dataclasses and the __marshal__/__unmarshal__ hook."""
+
+import dataclasses
+
+import pytest
+
+from repro.orb import MarshalError, is_transferable, marshal, marshal_call, transferable
+
+
+@transferable
+@dataclasses.dataclass(frozen=True)
+class Money:
+    currency: str
+    amount: float
+
+
+@transferable
+class Envelope:
+    """Non-dataclass transferable via the explicit protocol."""
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def __marshal__(self):
+        return {"inner": self.inner}
+
+    @classmethod
+    def __unmarshal__(cls, state):
+        return cls(state["inner"])
+
+    def __eq__(self, other):
+        return isinstance(other, Envelope) and other.inner == self.inner
+
+
+class TestTransferableDataclasses:
+    def test_registered(self):
+        assert is_transferable(Money)
+
+    def test_copied_field_by_field(self):
+        original = Money("EUR", 12.5)
+        copy = marshal(original)
+        assert copy == original
+        assert copy is not original
+
+    def test_nested_inside_containers(self):
+        data = {"payments": [Money("EUR", 1.0), Money("USD", 2.0)]}
+        copy = marshal(data)
+        assert copy == data
+        assert copy["payments"][0] is not data["payments"][0]
+
+
+class TestMarshalProtocol:
+    def test_roundtrip_through_protocol(self):
+        env = Envelope({"k": [1, 2]})
+        copy = marshal(env)
+        assert copy == env
+        copy.inner["k"].append(3)
+        assert env.inner["k"] == [1, 2]  # deep copy
+
+    def test_unregistered_class_rejected(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(MarshalError):
+            marshal([Opaque()])
+
+
+class TestMarshalCall:
+    def test_args_and_kwargs_copied(self):
+        args, kwargs = marshal_call((Money("EUR", 3.0),), {"note": "hi"})
+        assert args[0] == Money("EUR", 3.0)
+        assert kwargs == {"note": "hi"}
+
+    def test_unmarshalable_kwarg_rejected(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(MarshalError):
+            marshal_call((), {"bad": Opaque()})

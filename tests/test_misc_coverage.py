@@ -1,0 +1,103 @@
+"""Miscellaneous coverage: result helpers, repository versions, broker stats,
+trace glyphs, workflow-result accessors."""
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.engine import LocalEngine, WorkflowStatus, render_trace
+from repro.services import WorkflowSystem
+from repro.workloads import paper_order, paper_trip
+
+
+class TestWorkflowResultAccessors:
+    def result(self, **kwargs):
+        return LocalEngine(paper_order.default_registry(**kwargs)).run(
+            paper_order.build(), inputs={"order": "o"}
+        )
+
+    def test_value_with_default(self):
+        result = self.result(in_stock=False)
+        assert result.value("dispatchNote") is None
+        assert result.value("dispatchNote", "fallback") == "fallback"
+
+    def test_completed_property(self):
+        assert self.result().completed
+        assert self.result(in_stock=False).completed  # cancelled is an outcome
+
+    def test_stats_populated(self):
+        result = self.result()
+        assert result.stats["steps"] == 4
+        assert result.stats["nodes"] == 5
+        assert result.stats["events"] > 0
+
+
+class TestTraceGlyphs:
+    def test_abort_glyph_present(self):
+        result = LocalEngine(paper_order.default_registry(dispatch_ok=False)).run(
+            paper_order.build(), inputs={"order": "o"}
+        )
+        trace = render_trace(result.log)
+        assert "✘" in trace  # the dispatch abort
+
+    def test_repeat_and_mark_glyphs_present(self):
+        result = LocalEngine(paper_trip.default_registry()).run(
+            paper_trip.build(), inputs={"user": "u"}
+        )
+        trace = render_trace(result.log)
+        assert "↻" in trace  # hotel retries
+        assert "◆" in trace  # costKnown / toPay marks
+
+
+class TestRepositoryVersions:
+    def test_specific_version_loadable(self):
+        system = WorkflowSystem()
+        repo = system.repository_proxy()
+        repo.store_script("order", paper_order.SCRIPT_TEXT)
+        repo.store_script("order", paper_order.SCRIPT_TEXT + "\n// two\n")
+        assert "// two" not in repo.get_script("order", 1)
+        assert "// two" in repo.get_script("order", 2)
+
+    def test_bad_version_rejected(self):
+        system = WorkflowSystem()
+        repo = system.repository_proxy()
+        repo.store_script("order", paper_order.SCRIPT_TEXT)
+        with pytest.raises((SchemaError, Exception)):
+            repo.get_script("order", 9)
+
+    def test_missing_script_rejected(self):
+        system = WorkflowSystem()
+        with pytest.raises((SchemaError, Exception)):
+            system.repository_proxy().get_script("nope")
+
+    def test_inspect_includes_lint(self):
+        system = WorkflowSystem()
+        repo = system.repository_proxy()
+        repo.store_script("order", paper_order.SCRIPT_TEXT)
+        info = repo.inspect("order")
+        assert info["lint"] == []  # the paper app is lint-clean
+
+
+class TestBrokerAccounting:
+    def test_invocations_counted(self):
+        system = WorkflowSystem(workers=1)
+        paper_order.default_registry(registry=system.registry)
+        before = system.broker.stats.invocations
+        system.deploy("order", paper_order.SCRIPT_TEXT)
+        assert system.broker.stats.invocations == before + 1
+
+    def test_names_listing(self):
+        system = WorkflowSystem(workers=2)
+        names = system.broker.names()
+        assert "repository" in names and "execution" in names
+        assert "worker-1" in names and "worker-2" in names
+
+
+class TestEngineStatuses:
+    def test_status_enum_values_are_stable(self):
+        # the service layer serializes these strings; renames would break
+        # stored state, so pin them
+        assert WorkflowStatus.RUNNING.value == "running"
+        assert WorkflowStatus.COMPLETED.value == "completed"
+        assert WorkflowStatus.ABORTED.value == "aborted"
+        assert WorkflowStatus.STALLED.value == "stalled"
+        assert WorkflowStatus.FAILED.value == "failed"

@@ -1,0 +1,173 @@
+"""Tests for Arjuna-style nested transactions (§2: atomic tasks "possibly
+containing nested transactions within")."""
+
+import pytest
+
+from repro.txn import (
+    ObjectStore,
+    TransactionAborted,
+    TransactionManager,
+    TransactionState,
+)
+from repro.txn.ids import ObjectId, TransactionId
+from repro.txn.locks import LockManager, LockMode
+
+
+@pytest.fixture
+def store():
+    return ObjectStore("s")
+
+
+@pytest.fixture
+def tm(store):
+    return TransactionManager("tm", decision_store=store)
+
+
+class TestNestedBasics:
+    def test_child_sees_parent_writes(self, store, tm):
+        parent = tm.begin()
+        parent.write(store, "x", 1)
+        child = parent.begin_nested()
+        assert child.read(store, "x") == 1
+        child.abort()
+        parent.abort()
+
+    def test_child_commit_merges_into_parent(self, store, tm):
+        parent = tm.begin()
+        child = parent.begin_nested()
+        child.write(store, "x", "from-child")
+        child.commit()
+        assert parent.read(store, "x") == "from-child"
+        assert not store.exists("x")  # still provisional
+        parent.commit()
+        assert store.read_committed("x") == "from-child"
+
+    def test_child_abort_discards_only_child_writes(self, store, tm):
+        parent = tm.begin()
+        parent.write(store, "kept", 1)
+        child = parent.begin_nested()
+        child.write(store, "dropped", 2)
+        child.abort()
+        parent.commit()
+        assert store.read_committed("kept") == 1
+        assert not store.exists("dropped")
+
+    def test_grandchild_nesting(self, store, tm):
+        top = tm.begin()
+        child = top.begin_nested()
+        grandchild = child.begin_nested()
+        grandchild.write(store, "x", "deep")
+        grandchild.commit()
+        assert child.read(store, "x") == "deep"
+        child.commit()
+        top.commit()
+        assert store.read_committed("x") == "deep"
+
+    def test_child_overwrite_wins_over_parent(self, store, tm):
+        parent = tm.begin()
+        parent.write(store, "x", "old")
+        child = parent.begin_nested()
+        child.write(store, "x", "new")
+        child.commit()
+        parent.commit()
+        assert store.read_committed("x") == "new"
+
+
+class TestNestingDiscipline:
+    def test_parent_unusable_while_child_open(self, store, tm):
+        parent = tm.begin()
+        child = parent.begin_nested()
+        with pytest.raises(TransactionAborted):
+            parent.write(store, "x", 1)
+        child.abort()
+        parent.write(store, "x", 1)  # usable again
+        parent.commit()
+
+    def test_parent_commit_refused_while_child_open(self, store, tm):
+        parent = tm.begin()
+        parent.begin_nested()
+        with pytest.raises(TransactionAborted):
+            parent.commit()
+        parent.abort()
+
+    def test_parent_abort_cascades_to_child(self, store, tm):
+        parent = tm.begin()
+        child = parent.begin_nested()
+        child.write(store, "x", 1)
+        parent.abort()
+        assert child.state is TransactionState.ABORTED
+        assert not store.exists("x")
+
+    def test_closed_child_cannot_be_reused(self, store, tm):
+        parent = tm.begin()
+        child = parent.begin_nested()
+        child.commit()
+        with pytest.raises(TransactionAborted):
+            child.write(store, "x", 1)
+        parent.abort()
+
+
+class TestNestedLocking:
+    def test_child_locks_under_top_survive_child_abort(self, store, tm):
+        parent = tm.begin()
+        child = parent.begin_nested()
+        child.write(store, "x", 1)
+        child.abort()
+        # another transaction still cannot touch x: the lock is retained by
+        # the top-level transaction (conservative inheritance)
+        other = tm.begin()
+        with pytest.raises(TransactionAborted):
+            other.write(store, "x", 2)
+        parent.abort()
+        retry = tm.begin()
+        retry.write(store, "x", 3)
+        retry.commit()
+        assert store.read_committed("x") == 3
+
+    def test_child_can_touch_what_parent_holds(self, store, tm):
+        parent = tm.begin()
+        parent.write(store, "x", 1)
+        child = parent.begin_nested()
+        child.write(store, "x", 2)  # no self-conflict with the ancestor
+        child.commit()
+        parent.commit()
+        assert store.read_committed("x") == 2
+
+    def test_transfer_all_moves_locks(self):
+        locks = LockManager()
+        child, parent = TransactionId(2), TransactionId(1)
+        locks.try_acquire(child, ObjectId("a"), LockMode.EXCLUSIVE)
+        locks.try_acquire(child, ObjectId("b"), LockMode.SHARED)
+        locks.transfer_all(child, parent)
+        assert locks.held_by(child) == set()
+        assert locks.mode_of(parent, ObjectId("a")) is LockMode.EXCLUSIVE
+        assert locks.mode_of(parent, ObjectId("b")) is LockMode.SHARED
+
+    def test_transfer_does_not_downgrade_parent_exclusive(self):
+        locks = LockManager()
+        child, parent = TransactionId(2), TransactionId(1)
+        locks.try_acquire(parent, ObjectId("a"), LockMode.EXCLUSIVE)
+        locks.try_acquire(child, ObjectId("b"), LockMode.SHARED)
+        locks.transfer_all(child, parent)
+        assert locks.mode_of(parent, ObjectId("a")) is LockMode.EXCLUSIVE
+
+
+class TestNestedDurability:
+    def test_only_top_commit_is_durable(self, store, tm):
+        parent = tm.begin()
+        child = parent.begin_nested()
+        child.write(store, "x", 1)
+        child.commit()
+        store.crash()  # nothing was forced yet
+        assert not store.exists("x")
+
+    def test_crash_after_top_commit_keeps_merged_writes(self, store, tm):
+        parent = tm.begin()
+        child = parent.begin_nested()
+        child.write(store, "x", 1)
+        child.commit()
+        parent.write(store, "y", 2)
+        parent.commit()
+        store.crash()
+        assert store.read_committed("x") == 1
+        assert store.read_committed("y") == 2

@@ -1,0 +1,145 @@
+"""Unit tests for simulated nodes and services."""
+
+import pytest
+
+from repro.net.clock import EventClock
+from repro.net.network import LatencyModel, Network
+from repro.net.node import Node, NodeCrashed, Service
+
+
+class Recorder(Service):
+    def __init__(self, name="svc"):
+        super().__init__(name)
+        self.messages = []
+        self.started = 0
+        self.recovered = 0
+
+    def on_start(self):
+        self.started += 1
+
+    def on_message(self, message):
+        self.messages.append(message.payload)
+
+    def on_recover(self):
+        self.recovered += 1
+
+
+@pytest.fixture
+def world():
+    clock = EventClock()
+    net = Network(clock, LatencyModel(1.0))
+    return clock, net
+
+
+class TestServices:
+    def test_install_calls_on_start(self, world):
+        clock, net = world
+        node = Node("a", clock, net)
+        svc = node.install(Recorder())
+        assert svc.started == 1
+        assert svc.node is node
+
+    def test_duplicate_service_rejected(self, world):
+        clock, net = world
+        node = Node("a", clock, net)
+        node.install(Recorder("x"))
+        with pytest.raises(Exception):
+            node.install(Recorder("x"))
+
+    def test_addressed_message_routed_to_named_service(self, world):
+        clock, net = world
+        a, b = Node("a", clock, net), Node("b", clock, net)
+        svc1, svc2 = b.install(Recorder("one")), b.install(Recorder("two"))
+        a.send("b", {"service": "two", "data": 1})
+        clock.run()
+        assert svc1.messages == []
+        assert len(svc2.messages) == 1
+
+    def test_unaddressed_message_broadcast(self, world):
+        clock, net = world
+        a, b = Node("a", clock, net), Node("b", clock, net)
+        svc1, svc2 = b.install(Recorder("one")), b.install(Recorder("two"))
+        a.send("b", "plain")
+        clock.run()
+        assert svc1.messages == ["plain"]
+        assert svc2.messages == ["plain"]
+
+
+class TestCrashRecover:
+    def test_crashed_node_cannot_send(self, world):
+        clock, net = world
+        node = Node("a", clock, net)
+        node.crash()
+        with pytest.raises(NodeCrashed):
+            node.send("b", "x")
+
+    def test_crashed_node_does_not_receive(self, world):
+        clock, net = world
+        a, b = Node("a", clock, net), Node("b", clock, net)
+        svc = b.install(Recorder())
+        b.crash()
+        a.send("b", "x")
+        clock.run()
+        assert svc.messages == []
+
+    def test_recover_calls_on_recover(self, world):
+        clock, net = world
+        node = Node("a", clock, net)
+        svc = node.install(Recorder())
+        node.crash()
+        node.recover()
+        assert svc.recovered == 1
+
+    def test_recovered_node_receives_again(self, world):
+        clock, net = world
+        a, b = Node("a", clock, net), Node("b", clock, net)
+        svc = b.install(Recorder())
+        b.crash()
+        b.recover()
+        a.send("b", "x")
+        clock.run()
+        assert svc.messages == ["x"]
+
+    def test_crash_is_idempotent(self, world):
+        clock, net = world
+        node = Node("a", clock, net)
+        node.crash()
+        node.crash()
+        assert node.crash_count == 1
+
+    def test_stable_store_survives_crash(self, world):
+        clock, net = world
+        node = Node("a", clock, net)
+        node.stable_store["k"] = "v"
+        node.crash()
+        node.recover()
+        assert node.stable_store["k"] == "v"
+
+
+class TestTimers:
+    def test_timer_fires_on_live_node(self, world):
+        clock, net = world
+        node = Node("a", clock, net)
+        seen = []
+        node.call_after(5.0, lambda: seen.append(clock.now))
+        clock.run()
+        assert seen == [5.0]
+
+    def test_timer_suppressed_if_node_crashed(self, world):
+        clock, net = world
+        node = Node("a", clock, net)
+        seen = []
+        node.call_after(5.0, lambda: seen.append(1))
+        node.crash()
+        clock.run()
+        assert seen == []
+
+    def test_timer_from_before_crash_suppressed_after_recovery(self, world):
+        clock, net = world
+        node = Node("a", clock, net)
+        seen = []
+        node.call_after(5.0, lambda: seen.append(1))
+        clock.call_at(1.0, node.crash)
+        clock.call_at(2.0, node.recover)
+        clock.run()
+        assert seen == []  # epoch changed: old timers are dead

@@ -1,0 +1,213 @@
+"""Integration tests: every behavioural path of the paper's three example
+applications (§5.1-§5.3), run on the local engine."""
+
+import pytest
+
+from repro.core.selection import EventKind
+from repro.engine import LocalEngine, WorkflowStatus
+from repro.workloads import paper_order, paper_service_impact, paper_trip
+
+
+class TestServiceImpact:
+    """§5.1 / Fig. 6 — network management."""
+
+    def run(self, **kwargs):
+        script = paper_service_impact.build()
+        registry = paper_service_impact.default_registry(**kwargs)
+        return LocalEngine(registry).run(
+            script, inputs={"alarmsSource": "alarm-feed"}
+        )
+
+    def test_resolved_path(self):
+        result = self.run()
+        assert result.completed
+        assert result.outcome == "resolved"
+        assert "rerouted" in result.value("resolutionReport")
+
+    def test_not_resolved_path(self):
+        result = self.run(resolvable=False)
+        assert result.outcome == "notResolved"
+
+    def test_failure_at_each_stage(self):
+        for stage in ("correlate", "analyse", "resolve"):
+            result = self.run(fail_stage=stage)
+            assert result.outcome == "serviceImpactApplicationFailure", stage
+
+    def test_pipeline_ordering(self):
+        result = self.run()
+        order = result.log.started_order()
+        prefix = "serviceImpactApplication"
+        assert order.index(f"{prefix}/alarmCorrelator") < order.index(
+            f"{prefix}/serviceImpactAnalysis"
+        )
+        assert order.index(f"{prefix}/serviceImpactAnalysis") < order.index(
+            f"{prefix}/serviceImpactResolution"
+        )
+
+    def test_unguarded_source_consumes_impact_reports(self):
+        # `serviceImpactReports of task serviceImpactAnalysis` has no guard
+        result = self.run()
+        resolution = result.log.first(
+            "serviceImpactApplication/serviceImpactResolution", EventKind.INPUT
+        )
+        value = resolution.event.objects["serviceImpactReports"].value
+        assert "impacted-services" in value
+
+    def test_fault_data_flows_through(self):
+        result = self.run(fault="fiber-cut")
+        assert "fiber-cut" in result.value("resolutionReport")
+
+
+class TestOrderProcessing:
+    """§5.2 / Fig. 7 — electronic commerce."""
+
+    def run(self, **kwargs):
+        script = paper_order.build()
+        registry = paper_order.default_registry(**kwargs)
+        return LocalEngine(registry).run(script, inputs={"order": "order-7"})
+
+    def test_happy_path(self):
+        result = self.run()
+        assert result.outcome == "orderCompleted"
+        assert result.value("dispatchNote") == "note:stock:order-7"
+
+    def test_cancelled_when_not_authorised(self):
+        assert self.run(authorise=False).outcome == "orderCancelled"
+
+    def test_cancelled_when_out_of_stock(self):
+        assert self.run(in_stock=False).outcome == "orderCancelled"
+
+    def test_cancelled_when_dispatch_aborts(self):
+        result = self.run(dispatch_ok=False)
+        assert result.outcome == "orderCancelled"
+        # dispatch's failure is an abort outcome (atomic task, Fig. 7 box)
+        aborts = result.log.of_kind(EventKind.ABORT)
+        assert any(e.producer_path.endswith("dispatch") for e in aborts)
+
+    def test_auth_and_stock_run_before_dispatch(self):
+        result = self.run()
+        log = result.log
+        root = "processOrderApplication"
+        assert log.happened_before(
+            (f"{root}/paymentAuthorisation", EventKind.OUTCOME),
+            (f"{root}/dispatch", EventKind.INPUT),
+        )
+        assert log.happened_before(
+            (f"{root}/checkStock", EventKind.OUTCOME),
+            (f"{root}/dispatch", EventKind.INPUT),
+        )
+
+    def test_capture_only_after_dispatch(self):
+        result = self.run()
+        root = "processOrderApplication"
+        assert result.log.happened_before(
+            (f"{root}/dispatch", EventKind.OUTCOME),
+            (f"{root}/paymentCapture", EventKind.INPUT),
+        )
+
+    def test_no_capture_when_cancelled(self):
+        result = self.run(in_stock=False)
+        capture = result.log.for_task("processOrderApplication/paymentCapture")
+        assert all(e.event.kind is not EventKind.INPUT for e in capture)
+
+
+class TestBusinessTrip:
+    """§5.3 / Figs. 8-9 — travel booking with loop, mark and compensation."""
+
+    def run(self, user="alice", **kwargs):
+        script = paper_trip.build()
+        registry = paper_trip.default_registry(**kwargs)
+        return LocalEngine(registry).run(script, inputs={"user": user})
+
+    def test_happy_path_arranges_trip(self):
+        result = self.run()
+        assert result.outcome == "tripArranged"
+        assert "plane" in result.value("tickets")
+
+    def test_mark_toPay_released(self):
+        # Fig. 8: the cost escapes early through the compound's mark output
+        result = self.run()
+        assert [name for name, _ in result.marks] == ["toPay"]
+        __, objects = result.marks[0]
+        assert objects["cost"].value == 420.0
+
+    def test_cheapest_is_not_chosen_list_order_is(self):
+        # §4.3: the FIRST listed available alternative wins, so airline two's
+        # 420 quote beats airline three's cheaper 380 (airline one: no quote)
+        result = self.run()
+        assert result.marks[0][1]["cost"].value == 420.0
+
+    def test_no_flight_fails_trip(self):
+        result = self.run(airline_quotes=(None, None, None))
+        assert result.outcome == "tripFailed"
+
+    def test_flight_reservation_failure_fails_trip(self):
+        result = self.run(flight_ok=False)
+        assert result.outcome == "tripFailed"
+
+    def test_hotel_retry_via_repeat_outcome(self):
+        result = self.run(hotel_attempts_needed=2, hotel_max_tries=5)
+        assert result.outcome == "tripArranged"
+        hr = "tripReservation/businessReservation/hotelReservation"
+        repeats = [e for e in result.log.for_task(hr) if e.event.kind is EventKind.REPEAT]
+        assert len(repeats) == 2
+
+    def test_compensation_cancels_flight_then_br_retries(self):
+        result = self.run(
+            hotel_rounds_until_success=2, hotel_attempts_needed=1, hotel_max_tries=3
+        )
+        assert result.outcome == "tripArranged"
+        fc = "tripReservation/businessReservation/flightCancellation"
+        cancelled = [
+            e for e in result.log.entries
+            if e.producer_path == fc and e.event.kind is EventKind.OUTCOME
+        ]
+        assert len(cancelled) == 1  # first round's flight was compensated
+        br = "tripReservation/businessReservation"
+        br_repeats = [
+            e for e in result.log.for_task(br) if e.event.kind is EventKind.REPEAT
+        ]
+        assert len(br_repeats) == 1  # BR looped exactly once
+
+    def test_first_airline_with_quote_wins(self):
+        result = self.run(airline_quotes=(300.0, 420.0, 380.0))
+        assert result.marks[0][1]["cost"].value == 300.0
+
+    def test_over_budget_quotes_rejected(self):
+        result = self.run(airline_quotes=(900.0, 880.0, 950.0), max_price=500.0)
+        assert result.outcome == "tripFailed"
+
+    def test_parallel_airline_queries_all_start_when_needed(self):
+        # only the third airline has a quote, so all three queries must run
+        result = self.run(airline_quotes=(None, None, 380.0))
+        cfr = "tripReservation/businessReservation/checkFlightReservation"
+        started = result.log.started_order()
+        for airline in ("queryAirlineOne", "queryAirlineTwo", "queryAirlineThree"):
+            assert f"{cfr}/{airline}" in started
+        assert result.marks[0][1]["cost"].value == 380.0
+
+    def test_compound_abandons_remaining_queries_once_satisfied(self):
+        # the local engine runs queries one at a time; once airline two's
+        # quote enables `flightFound`, the compound terminates and airline
+        # three is never started (it would be, under the distributed engine's
+        # genuinely parallel dispatch)
+        result = self.run(airline_quotes=(None, 420.0, 380.0))
+        cfr = "tripReservation/businessReservation/checkFlightReservation"
+        started = result.log.started_order()
+        assert f"{cfr}/queryAirlineTwo" in started
+        assert f"{cfr}/queryAirlineThree" not in started
+
+
+class TestScriptsAreValid:
+    def test_all_paper_scripts_compile(self):
+        paper_order.build()
+        paper_service_impact.build()
+        paper_trip.build()
+
+    def test_all_paper_scripts_roundtrip(self):
+        from repro.lang import compile_script, format_script
+
+        for module in (paper_order, paper_service_impact, paper_trip):
+            script = module.build()
+            again = compile_script(format_script(script))
+            assert again.tasks == script.tasks

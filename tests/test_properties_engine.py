@@ -1,0 +1,155 @@
+"""Property-based tests of engine invariants under adversarial
+implementations: random scripts whose task implementations randomly succeed,
+abort, repeat or crash."""
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ScriptBuilder, from_input, from_output
+from repro.core.selection import EventKind
+from repro.core.states import TaskState
+from repro.engine import (
+    ImplementationRegistry,
+    LocalEngine,
+    WorkflowStatus,
+    abort,
+    outcome,
+    repeat,
+)
+
+settings.register_profile(
+    "repro-engine", deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+settings.load_profile("repro-engine")
+
+
+def adversarial_script(n: int):
+    """Chain of n tasks whose class has every output kind."""
+    b = ScriptBuilder()
+    b.object_class("Data")
+    (
+        b.taskclass("Wild")
+        .input_set("main", inp="Data")
+        .outcome("ok", out="Data")
+        .abort_outcome("bad")
+        .repeat_outcome("again")
+    )
+    b.taskclass("Root").input_set("main", inp="Data").outcome(
+        "done", out="Data"
+    ).outcome("failedPath")
+    c = b.compound("wf", "Root")
+    source = from_input("wf", "main", "inp")
+    for index in range(n):
+        name = f"t{index + 1}"
+        c.task(name, "Wild").implementation(code=f"wild{index + 1}", retries="1").input(
+            "main", "inp", source
+        ).up()
+        source = from_output(name, "ok", "out")
+    c.output("done").object("out", from_output(f"t{n}", "ok", "out")).up()
+    failed = c.output("failedPath")
+    for index in range(n):
+        failed.notify(from_output(f"t{index + 1}", "bad"))
+    failed.up()
+    c.up()
+    return b.build()
+
+
+# behaviour alphabet per task, consumed per execution attempt
+behaviours = st.lists(
+    st.sampled_from(["ok", "bad", "again", "crash"]), min_size=1, max_size=4
+)
+
+
+def make_registry(n: int, plans):
+    registry = ImplementationRegistry()
+    for index in range(n):
+        plan = plans[index % len(plans)]
+
+        def impl(ctx, plan=plan):
+            step = min(ctx.repeats + (ctx.attempt - 1), len(plan) - 1)
+            action = plan[step]
+            if action == "ok":
+                return outcome("ok", out=f"{ctx.value('inp')}.")
+            if action == "bad":
+                return abort("bad")
+            if action == "again" and ctx.repeats < 3:
+                return repeat("again")
+            if action == "crash":
+                raise RuntimeError("chaos")
+            return outcome("ok", out=f"{ctx.value('inp')}.")
+
+        registry.register(f"wild{index + 1}", impl)
+    return registry
+
+
+@given(st.integers(1, 5), st.lists(behaviours, min_size=1, max_size=5))
+def test_engine_always_terminates_cleanly(n, plans):
+    """No input makes the engine hang, crash or corrupt the life-cycle."""
+    script = adversarial_script(n)
+    registry = make_registry(n, plans)
+    result = LocalEngine(registry, max_repeats=10, max_steps=5_000).run(
+        script, inputs={"inp": "s"}
+    )
+    assert result.status in (
+        WorkflowStatus.COMPLETED,
+        WorkflowStatus.ABORTED,
+        WorkflowStatus.FAILED,
+        WorkflowStatus.STALLED,
+    )
+    # `failedPath` fires iff some task aborted; `done` iff the last task ok'd
+    if result.outcome == "done":
+        assert result.value("out", "").startswith("s")
+
+
+@given(st.integers(1, 5), st.lists(behaviours, min_size=1, max_size=5))
+def test_no_task_runs_before_its_inputs(n, plans):
+    """Every INPUT event of task t{k} must follow t{k-1}'s ok outcome."""
+    script = adversarial_script(n)
+    registry = make_registry(n, plans)
+    result = LocalEngine(registry, max_repeats=10, max_steps=5_000).run(
+        script, inputs={"inp": "s"}
+    )
+    last_ok_seq = {}
+    for entry in result.log.entries:
+        if entry.event.kind is EventKind.OUTCOME and entry.event.name == "ok":
+            last_ok_seq[entry.producer_path] = entry.seq
+        if (
+            entry.event.kind is EventKind.INPUT
+            and entry.producer_path.startswith("wf/t")
+        ):
+            index = int(entry.producer_path.split("t")[-1])
+            if index > 1:
+                producer = f"wf/t{index - 1}"
+                assert producer in last_ok_seq
+                assert last_ok_seq[producer] < entry.seq
+
+
+@given(st.integers(1, 4), st.lists(behaviours, min_size=1, max_size=4))
+def test_terminal_machines_stay_terminal(n, plans):
+    script = adversarial_script(n)
+    registry = make_registry(n, plans)
+    engine = LocalEngine(registry, max_repeats=10, max_steps=5_000)
+    wf = engine.workflow(script)
+    wf.start({"inp": "s"})
+    wf.run_to_completion()
+    for node in wf.tree.walk():
+        if node.machine.terminal:
+            assert node.machine.outcome is not None
+        if node.machine.state is TaskState.COMPLETED:
+            assert node.taskclass.output(node.machine.outcome) is not None
+
+
+@given(st.integers(1, 4), st.lists(behaviours, min_size=1, max_size=4))
+def test_abort_events_never_carry_into_unguarded_consumers(n, plans):
+    """Abort outcomes signal 'no effects': their events must never be the
+    chosen source of an unguarded binding (there are none here, so simply:
+    an aborted task's `out` value never reaches the compound output)."""
+    script = adversarial_script(n)
+    registry = make_registry(n, plans)
+    result = LocalEngine(registry, max_repeats=10, max_steps=5_000).run(
+        script, inputs={"inp": "s"}
+    )
+    if result.outcome == "failedPath":
+        assert result.objects == {}  # the failure outcome carries nothing

@@ -1,0 +1,290 @@
+"""Tests for dynamic reconfiguration: schema changes and live instances."""
+
+import pytest
+
+from repro.core import (
+    AddDependency,
+    AddTask,
+    Implementation,
+    ReconfigurationError,
+    RemoveDependency,
+    RemoveTask,
+    ReplaceImplementation,
+    ScriptBuilder,
+    Source,
+    apply_changes,
+    from_input,
+    from_output,
+)
+from repro.core.schema import GuardKind, TaskDecl, InputSetBinding, InputObjectBinding
+from repro.engine import ImplementationRegistry, LocalEngine, WorkflowStatus, outcome
+from repro.workloads import diamond
+
+
+def diamond_script():
+    return diamond()[0]
+
+
+def make_t5():
+    """The paper's own scenario: add t5 with dependencies from t2 and t4."""
+    return TaskDecl(
+        "t5",
+        "Join",
+        Implementation.of(code="join"),
+        (
+            InputSetBinding(
+                "main",
+                (
+                    InputObjectBinding(
+                        "left", (Source("t2", "out", GuardKind.OUTPUT, "done"),)
+                    ),
+                    InputObjectBinding(
+                        "right", (Source("t4", "out", GuardKind.OUTPUT, "done"),)
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+class TestSchemaChanges:
+    def test_add_task_extends_compound(self):
+        script = diamond_script()
+        new = AddTask("fig1", make_t5()).apply_checked(script)
+        assert new.tasks["fig1"].task("t5") is not None
+        assert script.tasks["fig1"].task("t5") is None  # original untouched
+
+    def test_add_duplicate_task_rejected(self):
+        script = diamond_script()
+        dup = TaskDecl("t2", "Produce", Implementation.of(code="produce"))
+        with pytest.raises(ReconfigurationError):
+            AddTask("fig1", dup).apply(script)
+
+    def test_add_task_with_bad_sources_rejected_atomically(self):
+        script = diamond_script()
+        bad = TaskDecl(
+            "t5",
+            "Join",
+            Implementation.of(code="join"),
+            (
+                InputSetBinding(
+                    "main",
+                    (
+                        InputObjectBinding(
+                            "left", (Source("ghost", "out", GuardKind.OUTPUT, "done"),)
+                        ),
+                        InputObjectBinding(
+                            "right", (Source("t4", "out", GuardKind.OUTPUT, "done"),)
+                        ),
+                    ),
+                ),
+            ),
+        )
+        with pytest.raises(ReconfigurationError):
+            AddTask("fig1", bad).apply_checked(script)
+
+    def test_remove_task_without_dependents(self):
+        script = AddTask("fig1", make_t5()).apply_checked(diamond_script())
+        back = RemoveTask("fig1", "t5").apply_checked(script)
+        assert back.tasks["fig1"].task("t5") is None
+
+    def test_remove_task_with_dependents_rejected(self):
+        script = diamond_script()
+        with pytest.raises(ReconfigurationError) as info:
+            RemoveTask("fig1", "t1").apply(script)
+        assert "t2" in str(info.value)
+
+    def test_remove_unknown_task_rejected(self):
+        with pytest.raises(ReconfigurationError):
+            RemoveTask("fig1", "ghost").apply(diamond_script())
+
+    def test_add_notification_dependency_is_local(self):
+        # §2 modularity: only the consumer's declaration changes
+        script = diamond_script()
+        change = AddDependency(
+            "fig1/t2",
+            "main",
+            None,
+            (Source("t3", None, GuardKind.OUTPUT, "done"),),
+        )
+        new = change.apply_checked(script)
+        t2 = new.tasks["fig1"].task("t2")
+        assert len(t2.input_sets[0].notifications) == 2
+        # t3 (the producer) is untouched
+        assert new.tasks["fig1"].task("t3") == script.tasks["fig1"].task("t3")
+
+    def test_remove_notification_dependency(self):
+        script = diamond_script()
+        change = RemoveDependency("fig1/t2", "main", notification_index=0)
+        new = change.apply(script)
+        assert new.tasks["fig1"].task("t2").input_sets[0].notifications == ()
+
+    def test_remove_unknown_object_dependency_rejected(self):
+        with pytest.raises(ReconfigurationError):
+            RemoveDependency("fig1/t2", "main", object_name="ghost").apply(
+                diamond_script()
+            )
+
+    def test_replace_implementation(self):
+        script = diamond_script()
+        change = ReplaceImplementation("fig1/t1", Implementation.of(code="produce2"))
+        new = change.apply_checked(script)
+        assert new.tasks["fig1"].task("t1").implementation.code == "produce2"
+
+    def test_batch_apply_all_or_nothing(self):
+        script = diamond_script()
+        changes = [
+            AddTask("fig1", make_t5()),
+            ReplaceImplementation("fig1/ghost", Implementation.of(code="x")),
+        ]
+        with pytest.raises(ReconfigurationError):
+            apply_changes(script, changes)
+
+    def test_path_into_simple_task_rejected(self):
+        with pytest.raises(ReconfigurationError):
+            AddTask("fig1/t1", make_t5()).apply(diamond_script())
+
+
+class TestLiveReconfiguration:
+    def test_add_t5_to_running_instance(self):
+        # the paper's §3 scenario, on a *running* instance
+        script, registry, root, inputs = diamond()
+        executed = []
+        registry.register(
+            "join2",
+            lambda ctx: executed.append(ctx.task_path)
+            or outcome("done", out="joined"),
+        )
+        engine = LocalEngine(registry)
+        wf = engine.workflow(script)
+        wf.start(inputs)
+        wf.step()  # root compound start + t1
+        t5 = TaskDecl(
+            "t5",
+            "Join",
+            Implementation.of(code="join2"),
+            (
+                InputSetBinding(
+                    "main",
+                    (
+                        InputObjectBinding(
+                            "left", (Source("t2", "out", GuardKind.OUTPUT, "done"),)
+                        ),
+                        InputObjectBinding(
+                            "right", (Source("t4", "out", GuardKind.OUTPUT, "done"),)
+                        ),
+                    ),
+                ),
+            ),
+        )
+        from repro.core import ReplaceOutputMapping, apply_changes
+        from repro.core.schema import OutputBinding, OutputObjectBinding
+
+        # the compound's `done` outcome must now wait for t5, else fig1
+        # terminates the moment t4 finishes and t5 never runs
+        rewire = ReplaceOutputMapping(
+            "fig1",
+            OutputBinding(
+                "done",
+                (
+                    OutputObjectBinding(
+                        "out", (Source("t5", "out", GuardKind.OUTPUT, "done"),)
+                    ),
+                ),
+            ),
+        )
+        new_script = apply_changes(wf.tree.script, [AddTask("fig1", t5), rewire])
+        wf.reconfigure(new_script)
+        result = wf.run_to_completion()
+        # the workflow still completes, and t5 ran with inputs from t2 and t4
+        assert result.completed
+        assert executed == ["fig1/t5"]
+        assert result.value("out") == "joined"
+
+    def test_added_task_sees_prior_events(self):
+        # add a consumer AFTER its producer already finished: the scope
+        # history replay must still satisfy it
+        script, registry, root, inputs = diamond()
+        ran = []
+        registry.register(
+            "late", lambda ctx: ran.append(ctx.value("left")) or outcome("done", out="l")
+        )
+        wf = LocalEngine(registry).workflow(script)
+        wf.start(inputs)
+        wf.run_to_completion()  # everything already done
+        late = TaskDecl(
+            "late",
+            "Consume",
+            Implementation.of(code="late"),
+            (
+                InputSetBinding(
+                    "main",
+                    (
+                        InputObjectBinding(
+                            "inp", (Source("t1", "out", GuardKind.OUTPUT, "done"),)
+                        ),
+                    ),
+                ),
+            ),
+        )
+        # the compound already terminated -> adding is legal but the task can
+        # never run; verify on a *live* compound instead
+        wf2 = LocalEngine(registry).workflow(script)
+        wf2.start(inputs)
+        wf2.step()  # t1 done
+        wf2.step()
+        new_script = AddTask("fig1", late).apply_checked(wf2.tree.script)
+        wf2.reconfigure(new_script)
+        result = wf2.run_to_completion()
+        assert result.completed
+
+    def test_removing_started_task_rejected_live(self):
+        script, registry, root, inputs = diamond()
+        wf = LocalEngine(registry).workflow(script)
+        wf.start(inputs)
+        wf.step()  # t1 starts and finishes
+        # build a script without t1 (and without its dependents, to pass
+        # static validation) -- still refused because t1 already started
+        bad = ScriptBuilder()
+        with pytest.raises(ReconfigurationError):
+            new_script = RemoveTask("fig1", "t1").apply(wf.tree.script)
+
+    def test_implementation_swap_on_live_instance(self):
+        script, registry, root, inputs = diamond()
+        swapped = []
+        registry.register(
+            "join-new",
+            lambda ctx: swapped.append(1) or outcome("done", out="NEW"),
+        )
+        wf = LocalEngine(registry).workflow(script)
+        wf.start(inputs)
+        wf.step()  # t1 only
+        new_script = ReplaceImplementation(
+            "fig1/t4", Implementation.of(code="join-new")
+        ).apply_checked(wf.tree.script)
+        wf.reconfigure(new_script)
+        result = wf.run_to_completion()
+        assert result.completed
+        assert swapped == [1]
+        assert result.value("out") == "NEW"
+
+    def test_taskclass_change_rejected_live(self):
+        script, registry, root, inputs = diamond()
+        wf = LocalEngine(registry).workflow(script)
+        wf.start(inputs)
+        import dataclasses
+
+        decl = script.tasks["fig1"]
+        changed_child = dataclasses.replace(decl.task("t1"), taskclass_name="Consume")
+        new_tasks = tuple(
+            changed_child if t.name == "t1" else t for t in decl.tasks
+        )
+        from repro.core.schema import Script as SchemaScript
+
+        new_script = SchemaScript(
+            classes=dict(script.classes),
+            taskclasses=dict(script.taskclasses),
+            tasks={"fig1": dataclasses.replace(decl, tasks=new_tasks)},
+        )
+        with pytest.raises(ReconfigurationError):
+            wf.reconfigure(new_script)

@@ -1,0 +1,205 @@
+"""Unit tests for input-dependency satisfaction (§4.3 semantics)."""
+
+import pytest
+
+from repro.core.schema import (
+    GuardKind,
+    InputObjectBinding,
+    InputSetBinding,
+    NotificationBinding,
+    Source,
+)
+from repro.core.selection import (
+    EventKind,
+    InputObjectTracker,
+    InputSetTracker,
+    NotificationTracker,
+    Scope,
+    TaskInputTracker,
+    WorkflowEvent,
+    source_matches,
+)
+from repro.core.values import ObjectRef
+
+
+def ev(producer, kind, name, **objects):
+    return WorkflowEvent(
+        producer, kind, name, {k: ObjectRef("Data", v) for k, v in objects.items()}
+    )
+
+
+class TestSourceMatching:
+    def test_output_guard_matches_outcome(self):
+        source = Source("t1", "x", GuardKind.OUTPUT, "done")
+        value = source_matches(source, ev("t1", EventKind.OUTCOME, "done", x=1))
+        assert value.value == 1
+
+    def test_output_guard_matches_abort_and_mark_and_repeat(self):
+        source = Source("t1", None, GuardKind.OUTPUT, "o")
+        for kind in (EventKind.ABORT, EventKind.MARK, EventKind.REPEAT):
+            assert source_matches(source, ev("t1", kind, "o")) is not None
+
+    def test_output_guard_rejects_other_name(self):
+        source = Source("t1", "x", GuardKind.OUTPUT, "done")
+        assert source_matches(source, ev("t1", EventKind.OUTCOME, "other", x=1)) is None
+
+    def test_output_guard_rejects_input_event(self):
+        source = Source("t1", None, GuardKind.OUTPUT, "main")
+        assert source_matches(source, ev("t1", EventKind.INPUT, "main")) is None
+
+    def test_input_guard_matches_input_event(self):
+        source = Source("t1", "x", GuardKind.INPUT, "main")
+        value = source_matches(source, ev("t1", EventKind.INPUT, "main", x=7))
+        assert value.value == 7
+
+    def test_wrong_producer_rejected(self):
+        source = Source("t1", "x", GuardKind.OUTPUT, "done")
+        assert source_matches(source, ev("t2", EventKind.OUTCOME, "done", x=1)) is None
+
+    def test_missing_object_rejected(self):
+        source = Source("t1", "y", GuardKind.OUTPUT, "done")
+        assert source_matches(source, ev("t1", EventKind.OUTCOME, "done", x=1)) is None
+
+    def test_unguarded_matches_outcome_and_mark_with_object(self):
+        source = Source("t1", "x", GuardKind.ANY, None)
+        assert source_matches(source, ev("t1", EventKind.OUTCOME, "any", x=1)) is not None
+        assert source_matches(source, ev("t1", EventKind.MARK, "m", x=1)) is not None
+
+    def test_unguarded_rejects_abort_and_repeat(self):
+        # §4.2: abort means no effects; repeat objects are private
+        source = Source("t1", "x", GuardKind.ANY, None)
+        assert source_matches(source, ev("t1", EventKind.ABORT, "a", x=1)) is None
+        assert source_matches(source, ev("t1", EventKind.REPEAT, "r", x=1)) is None
+
+    def test_notification_match_returns_token(self):
+        source = Source("t1", None, GuardKind.OUTPUT, "done")
+        token = source_matches(source, ev("t1", EventKind.OUTCOME, "done"))
+        assert token.class_name == "<notification>"
+
+
+class TestInputObjectTracker:
+    def binding(self):
+        return InputObjectBinding(
+            "inp",
+            (
+                Source("a", "x", GuardKind.OUTPUT, "done"),
+                Source("b", "y", GuardKind.OUTPUT, "done"),
+            ),
+        )
+
+    def test_first_listed_alternative_wins_even_if_later_in_time(self):
+        tracker = InputObjectTracker(self.binding())
+        tracker.offer(ev("b", EventKind.OUTCOME, "done", y="from-b"))
+        assert tracker.value.value == "from-b"
+        tracker.offer(ev("a", EventKind.OUTCOME, "done", x="from-a"))
+        assert tracker.value.value == "from-a"  # earlier-listed alternative upgrades
+
+    def test_later_alternative_does_not_downgrade(self):
+        tracker = InputObjectTracker(self.binding())
+        tracker.offer(ev("a", EventKind.OUTCOME, "done", x="from-a"))
+        changed = tracker.offer(ev("b", EventKind.OUTCOME, "done", y="from-b"))
+        assert not changed
+        assert tracker.value.value == "from-a"
+
+    def test_unsatisfied_until_any_source_fires(self):
+        tracker = InputObjectTracker(self.binding())
+        assert not tracker.satisfied
+        tracker.offer(ev("c", EventKind.OUTCOME, "done", x=1))
+        assert not tracker.satisfied
+
+
+class TestNotificationTracker:
+    def test_any_alternative_satisfies(self):
+        binding = NotificationBinding(
+            (
+                Source("a", None, GuardKind.OUTPUT, "done"),
+                Source("b", None, GuardKind.OUTPUT, "done"),
+            )
+        )
+        tracker = NotificationTracker(binding)
+        tracker.offer(ev("b", EventKind.OUTCOME, "done"))
+        assert tracker.satisfied
+        assert tracker.matched_by == "b"
+
+    def test_first_match_sticks(self):
+        binding = NotificationBinding(
+            (
+                Source("a", None, GuardKind.OUTPUT, "done"),
+                Source("b", None, GuardKind.OUTPUT, "done"),
+            )
+        )
+        tracker = NotificationTracker(binding)
+        tracker.offer(ev("b", EventKind.OUTCOME, "done"))
+        assert not tracker.offer(ev("a", EventKind.OUTCOME, "done"))
+        assert tracker.matched_by == "b"
+
+
+class TestInputSetTracker:
+    def make_binding(self):
+        return InputSetBinding(
+            "main",
+            (InputObjectBinding("inp", (Source("a", "x", GuardKind.OUTPUT, "done"),)),),
+            (NotificationBinding((Source("b", None, GuardKind.OUTPUT, "ok"),)),),
+        )
+
+    def test_requires_all_objects_and_notifications(self):
+        tracker = InputSetTracker(self.make_binding())
+        tracker.offer(ev("a", EventKind.OUTCOME, "done", x=1))
+        assert not tracker.satisfied
+        tracker.offer(ev("b", EventKind.OUTCOME, "ok"))
+        assert tracker.satisfied
+
+    def test_values_returns_chosen_objects(self):
+        tracker = InputSetTracker(self.make_binding())
+        tracker.offer(ev("a", EventKind.OUTCOME, "done", x=5))
+        tracker.offer(ev("b", EventKind.OUTCOME, "ok"))
+        assert tracker.values()["inp"].value == 5
+
+    def test_values_before_satisfaction_raises(self):
+        with pytest.raises(ValueError):
+            InputSetTracker(self.make_binding()).values()
+
+    def test_empty_set_trivially_satisfied(self):
+        assert InputSetTracker(InputSetBinding("main")).satisfied
+
+
+class TestTaskInputTracker:
+    def test_first_declared_satisfied_set_wins(self):
+        # §3: "chosen deterministically" — declaration order
+        set1 = InputSetBinding(
+            "primary",
+            (InputObjectBinding("x", (Source("a", "x", GuardKind.OUTPUT, "d"),)),),
+        )
+        set2 = InputSetBinding(
+            "fallback",
+            (InputObjectBinding("y", (Source("b", "y", GuardKind.OUTPUT, "d"),)),),
+        )
+        tracker = TaskInputTracker([set1, set2])
+        tracker.offer(ev("b", EventKind.OUTCOME, "d", y=2))
+        assert tracker.ready()[0] == "fallback"
+        tracker.offer(ev("a", EventKind.OUTCOME, "d", x=1))
+        assert tracker.ready()[0] == "primary"
+
+    def test_not_ready_when_no_set_satisfied(self):
+        set1 = InputSetBinding(
+            "main", (InputObjectBinding("x", (Source("a", "x", GuardKind.OUTPUT, "d"),)),)
+        )
+        assert TaskInputTracker([set1]).ready() is None
+
+
+class TestScope:
+    def test_publish_assigns_sequence(self):
+        scope = Scope("wf")
+        e1 = scope.publish("t", EventKind.OUTCOME, "done")
+        e2 = scope.publish("t", EventKind.OUTCOME, "done2")
+        assert e2.seq == e1.seq + 1
+
+    def test_replay_into_reproduces_state(self):
+        scope = Scope("wf")
+        scope.publish("a", EventKind.OUTCOME, "d", {"x": ObjectRef("Data", 1)})
+        binding = InputSetBinding(
+            "main", (InputObjectBinding("x", (Source("a", "x", GuardKind.OUTPUT, "d"),)),)
+        )
+        tracker = TaskInputTracker([binding])
+        scope.replay_into(tracker)
+        assert tracker.ready() is not None

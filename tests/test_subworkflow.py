@@ -1,0 +1,92 @@
+"""Tests for scripts used as task implementations (§4.4: a compound task
+"used to specify a task implementation")."""
+
+import pytest
+
+from repro.core import ScriptBuilder, from_input, from_output
+from repro.engine import ImplementationRegistry, LocalEngine, WorkflowStatus, outcome
+from repro.services import WorkflowSystem
+from repro.lang import format_script
+
+
+def outer_script():
+    """A workflow whose single task is implemented by another script."""
+    b = ScriptBuilder()
+    b.object_class("Data")
+    b.taskclass("Work").input_set("main", inp="Data").outcome("done", out="Data")
+    b.taskclass("Root").input_set("main", inp="Data").outcome("done", out="Data")
+    c = b.compound("outer", "Root")
+    c.task("worker", "Work").implementation(code="subflow").input(
+        "main", "inp", from_input("outer", "main", "inp")
+    ).up()
+    c.output("done").object("out", from_output("worker", "done", "out")).up()
+    c.up()
+    return b.build()
+
+
+def inner_script():
+    """The implementation: same task class signature, two internal stages."""
+    b = ScriptBuilder()
+    b.object_class("Data")
+    b.taskclass("Stage").input_set("main", inp="Data").outcome("done", out="Data")
+    b.taskclass("Work").input_set("main", inp="Data").outcome("done", out="Data")
+    c = b.compound("inner", "Work")
+    c.task("s1", "Stage").implementation(code="stage").input(
+        "main", "inp", from_input("inner", "main", "inp")
+    ).up()
+    c.task("s2", "Stage").implementation(code="stage").input(
+        "main", "inp", from_output("s1", "done", "out")
+    ).up()
+    c.output("done").object("out", from_output("s2", "done", "out")).up()
+    c.up()
+    return b.build()
+
+
+@pytest.fixture
+def registry():
+    reg = ImplementationRegistry()
+    reg.register("stage", lambda ctx: outcome("done", out=f"[{ctx.value('inp')}]"))
+    reg.register_script("subflow", inner_script())
+    return reg
+
+
+class TestLocalSubWorkflow:
+    def test_sub_workflow_runs_and_maps_outcome(self, registry):
+        result = LocalEngine(registry).run(outer_script(), inputs={"inp": "x"})
+        assert result.completed
+        assert result.value("out") == "[[x]]"
+
+    def test_sub_workflow_failure_propagates(self):
+        reg = ImplementationRegistry()
+        reg.register("stage", lambda ctx: outcome("ghostOutcome"))
+        reg.register_script("subflow", inner_script())
+        result = LocalEngine(reg, default_retries=0).run(
+            outer_script(), inputs={"inp": "x"}
+        )
+        assert result.status is WorkflowStatus.FAILED
+
+    def test_register_script_needs_unique_or_named_task(self):
+        reg = ImplementationRegistry()
+        two = inner_script()
+        two.add_task(two.tasks["inner"].tasks[0])  # add a second top-level task
+        with pytest.raises(Exception):
+            reg.register_script("x", two)
+        reg.register_script("x", two, task_name="inner")
+
+    def test_online_upgrade_rebinding(self, registry):
+        # §3: swap the implementation without touching the script
+        result1 = LocalEngine(registry).run(outer_script(), inputs={"inp": "x"})
+        registry.register("subflow", lambda ctx: outcome("done", out="direct"))
+        result2 = LocalEngine(registry).run(outer_script(), inputs={"inp": "x"})
+        assert result1.value("out") == "[[x]]"
+        assert result2.value("out") == "direct"
+
+
+class TestDistributedSubWorkflow:
+    def test_worker_runs_script_binding(self, registry):
+        system = WorkflowSystem(workers=2, registry=registry)
+        system.deploy("outer", format_script(outer_script()))
+        iid = system.instantiate("outer", "outer", {"inp": "y"})
+        result = system.run_until_terminal(iid)
+        assert result["status"] == "completed"
+        assert result["objects"]["out"]["value"] == "[[y]]"

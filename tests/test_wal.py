@@ -1,0 +1,180 @@
+"""Unit tests for the write-ahead log and replay."""
+
+import pytest
+
+from repro.txn.ids import ObjectId, TransactionId
+from repro.txn import wal as w
+from repro.txn.wal import WriteAheadLog, in_doubt, replay
+
+T1, T2 = TransactionId(1), TransactionId(2)
+A, B = ObjectId("a"), ObjectId("b")
+
+
+class TestAppendForce:
+    def test_lsn_monotonic(self):
+        log = WriteAheadLog()
+        r1 = log.append(w.BEGIN, T1)
+        r2 = log.append(w.COMMIT, T1)
+        assert r2.lsn == r1.lsn + 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            WriteAheadLog().append("NOPE")
+
+    def test_force_marks_durable(self):
+        log = WriteAheadLog()
+        log.append(w.BEGIN, T1)
+        assert log.durable_length == 0
+        log.force()
+        assert log.durable_length == 1
+
+    def test_lose_unforced_drops_tail(self):
+        log = WriteAheadLog()
+        log.append(w.BEGIN, T1)
+        log.force()
+        log.append(w.UPDATE, T1, A, 1)
+        lost = log.lose_unforced()
+        assert lost == 1
+        assert len(log) == 1
+
+    def test_lose_unforced_keeps_forced_records(self):
+        log = WriteAheadLog()
+        log.append(w.BEGIN, T1)
+        log.append(w.UPDATE, T1, A, 1)
+        log.force()
+        log.lose_unforced()
+        assert [r.kind for r in log.durable_records()] == [w.BEGIN, w.UPDATE]
+
+
+class TestReplay:
+    def _committed_log(self):
+        log = WriteAheadLog()
+        log.append(w.BEGIN, T1)
+        log.append(w.UPDATE, T1, A, "v1")
+        log.append(w.UPDATE, T1, B, "v2")
+        log.append(w.COMMIT, T1)
+        log.force()
+        return log
+
+    def test_committed_updates_applied(self):
+        snapshot = replay(self._committed_log().durable_records())
+        assert snapshot == {"a": "v1", "b": "v2"}
+
+    def test_uncommitted_updates_presumed_aborted(self):
+        log = WriteAheadLog()
+        log.append(w.BEGIN, T1)
+        log.append(w.UPDATE, T1, A, "v1")
+        log.force()
+        assert replay(log.durable_records()) == {}
+
+    def test_aborted_updates_discarded(self):
+        log = WriteAheadLog()
+        log.append(w.BEGIN, T1)
+        log.append(w.UPDATE, T1, A, "v1")
+        log.append(w.ABORT, T1)
+        log.force()
+        assert replay(log.durable_records()) == {}
+
+    def test_later_commit_overwrites(self):
+        log = self._committed_log()
+        log.append(w.BEGIN, T2)
+        log.append(w.UPDATE, T2, A, "v9")
+        log.append(w.COMMIT, T2)
+        log.force()
+        assert replay(log.durable_records())["a"] == "v9"
+
+    def test_interleaved_transactions(self):
+        log = WriteAheadLog()
+        log.append(w.BEGIN, T1)
+        log.append(w.BEGIN, T2)
+        log.append(w.UPDATE, T1, A, 1)
+        log.append(w.UPDATE, T2, B, 2)
+        log.append(w.COMMIT, T2)
+        log.append(w.ABORT, T1)
+        log.force()
+        assert replay(log.durable_records()) == {"b": 2}
+
+
+class TestCheckpoint:
+    def test_checkpoint_compacts_log(self):
+        log = WriteAheadLog()
+        for i in range(10):
+            tid = TransactionId(i + 1)
+            log.append(w.BEGIN, tid)
+            log.append(w.UPDATE, tid, A, i)
+            log.append(w.COMMIT, tid)
+        log.force()
+        log.checkpoint({"a": 9})
+        assert len(log) == 1
+        assert replay(log.durable_records()) == {"a": 9}
+
+    def test_replay_after_checkpoint_and_more_commits(self):
+        log = WriteAheadLog()
+        log.checkpoint({"a": 1})
+        log.append(w.BEGIN, T1)
+        log.append(w.UPDATE, T1, B, 2)
+        log.append(w.COMMIT, T1)
+        log.force()
+        assert replay(log.durable_records()) == {"a": 1, "b": 2}
+
+
+class TestInDoubt:
+    def test_prepared_without_outcome_is_in_doubt(self):
+        log = WriteAheadLog()
+        log.append(w.BEGIN, T1)
+        log.append(w.UPDATE, T1, A, 1)
+        log.append(w.PREPARE, T1)
+        log.force()
+        assert in_doubt(log.durable_records()) == [T1]
+
+    def test_committed_prepare_not_in_doubt(self):
+        log = WriteAheadLog()
+        log.append(w.PREPARE, T1)
+        log.append(w.COMMIT, T1)
+        log.force()
+        assert in_doubt(log.durable_records()) == []
+
+    def test_aborted_prepare_not_in_doubt(self):
+        log = WriteAheadLog()
+        log.append(w.PREPARE, T1)
+        log.append(w.ABORT, T1)
+        log.force()
+        assert in_doubt(log.durable_records()) == []
+
+    def test_json_serialization_of_records(self):
+        log = WriteAheadLog()
+        record = log.append(w.UPDATE, T1, A, {"x": 1})
+        text = record.to_json()
+        assert '"UPDATE"' in text and '"a"' in text
+
+
+class TestDiskMirror:
+    def test_forced_records_mirrored_to_disk(self, tmp_path):
+        import json
+
+        path = tmp_path / "wal.jsonl"
+        log = WriteAheadLog(mirror_path=str(path))
+        log.append(w.BEGIN, T1)
+        log.append(w.UPDATE, T1, A, "v1")
+        log.append(w.COMMIT, T1)
+        log.force()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3
+        kinds = [json.loads(line)["kind"] for line in lines]
+        assert kinds == [w.BEGIN, w.UPDATE, w.COMMIT]
+
+    def test_unforced_records_not_mirrored(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        log = WriteAheadLog(mirror_path=str(path))
+        log.append(w.BEGIN, T1)
+        assert not path.exists() or path.read_text() == ""
+
+    def test_mirror_appends_across_forces(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        log = WriteAheadLog(mirror_path=str(path))
+        log.append(w.BEGIN, T1)
+        log.force()
+        log.append(w.COMMIT, T1)
+        log.force()
+        log.force()  # idempotent: nothing new to write
+        assert len(path.read_text().strip().splitlines()) == 2

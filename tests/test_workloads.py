@@ -1,0 +1,84 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.engine import LocalEngine
+from repro.workloads import chain, diamond, fan, random_dag, script_text
+
+
+class TestChain:
+    def test_runs_and_threads_data(self):
+        script, registry, root, inputs = chain(5)
+        result = LocalEngine(registry).run(script, root, inputs=inputs)
+        assert result.completed
+        assert result.value("out") == "seed"  # noop stages pass data through
+
+    def test_strictly_sequential(self):
+        script, registry, root, inputs = chain(6)
+        result = LocalEngine(registry).run(script, root, inputs=inputs)
+        order = result.log.started_order()
+        stages = [p for p in order if "/" in p]
+        assert stages == [f"pipeline/t{i}" for i in range(1, 7)]
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            chain(0)
+
+
+class TestFan:
+    def test_runs(self):
+        script, registry, root, inputs = fan(7)
+        result = LocalEngine(registry).run(script, root, inputs=inputs)
+        assert result.completed
+
+    def test_sink_starts_after_all_workers(self):
+        script, registry, root, inputs = fan(5)
+        result = LocalEngine(registry).run(script, root, inputs=inputs)
+        order = result.log.started_order()
+        sink_at = order.index("fan/sink")
+        for i in range(1, 6):
+            assert order.index(f"fan/w{i}") < sink_at
+
+
+class TestDiamond:
+    def test_fig1_execution_order_constraints(self):
+        script, registry, root, inputs = diamond()
+        result = LocalEngine(registry).run(script, root, inputs=inputs)
+        order = result.log.started_order()
+        assert order.index("fig1/t1") < order.index("fig1/t2")
+        assert order.index("fig1/t1") < order.index("fig1/t3")
+        assert order.index("fig1/t2") < order.index("fig1/t4")
+        assert order.index("fig1/t3") < order.index("fig1/t4")
+
+    def test_join_sees_both_branches(self):
+        script, registry, root, inputs = diamond()
+        result = LocalEngine(registry).run(script, root, inputs=inputs)
+        assert result.value("out") == "join(fig1/t2,c(fig1/t1))"
+
+
+class TestRandomDag:
+    def test_deterministic_under_seed(self):
+        a = random_dag(30, seed=5)
+        b = random_dag(30, seed=5)
+        assert a[0].tasks == b[0].tasks
+
+    def test_different_seeds_differ(self):
+        a = random_dag(30, seed=5)
+        b = random_dag(30, seed=6)
+        assert a[0].tasks != b[0].tasks
+
+    @pytest.mark.parametrize("n", [1, 2, 10, 60])
+    def test_all_sizes_complete(self, n):
+        script, registry, root, inputs = random_dag(n, seed=1)
+        result = LocalEngine(registry).run(script, root, inputs=inputs)
+        assert result.completed
+
+
+class TestScriptText:
+    def test_generated_text_recompiles(self):
+        from repro.lang import compile_script
+
+        workload = random_dag(20, seed=2)
+        text = script_text(workload)
+        script = compile_script(text)
+        assert script.tasks.keys() == workload[0].tasks.keys()
