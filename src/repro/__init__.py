@@ -42,6 +42,8 @@ from .core import (
     ref,
 )
 from .engine import (
+    ConcurrentEngine,
+    ConcurrentWorkflow,
     ImplementationRegistry,
     LocalEngine,
     LocalWorkflow,
@@ -61,6 +63,8 @@ from .services import WorkflowSystem
 __version__ = "1.0.0"
 
 __all__ = [
+    "ConcurrentEngine",
+    "ConcurrentWorkflow",
     "GuardKind",
     "ImplementationRegistry",
     "LocalEngine",

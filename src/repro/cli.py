@@ -18,7 +18,7 @@ from typing import List, Optional
 from .core.errors import ParseError, ValidationReport
 from .core.graph import structure_summary
 from .core.schema import CompoundTaskDecl
-from .engine import LocalEngine
+from .engine import ConcurrentEngine, LocalEngine
 from .engine.trace import render_summary, render_trace
 from .lang import compile_script, format_script, parse
 from .lang.dot import to_dot
@@ -110,7 +110,11 @@ def cmd_demo(args: argparse.Namespace) -> int:
     module, inputs = demos[args.name]
     script = module.build()
     registry = module.default_registry()
-    result = LocalEngine(registry).run(script, inputs=inputs)
+    if args.parallelism > 1:
+        engine = ConcurrentEngine(registry, parallelism=args.parallelism)
+    else:
+        engine = LocalEngine(registry)
+    result = engine.run(script, inputs=inputs)
     print(f"outcome: {result.outcome}\n")
     print(render_trace(result.log))
     print()
@@ -157,6 +161,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = commands.add_parser("demo", help="run a paper example")
     demo.add_argument("name", choices=["order", "trip", "service-impact"])
+    demo.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run independent ready tasks on N worker threads (default: 1, sequential)",
+    )
     demo.set_defaults(fn=cmd_demo)
 
     return parser

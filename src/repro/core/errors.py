@@ -54,5 +54,14 @@ class BindingError(ExecutionError):
     """No implementation could be bound for a task's code name."""
 
 
+class TaskTimeout(ExecutionError):
+    """A task implementation exceeded its wall-clock ``timeout`` property.
+
+    Raised by :meth:`repro.engine.TaskContext.check_timeout`; the engine
+    treats it like any other implementation failure (system retries, then
+    the first declared abort outcome).
+    """
+
+
 class ReconfigurationError(WorkflowError):
     """A dynamic reconfiguration request could not be applied."""

@@ -1,10 +1,13 @@
 """Workflow execution engines (DESIGN.md subsystem S7).
 
-``LocalEngine`` runs instances deterministically in-process; the distributed
+``LocalEngine`` runs instances deterministically in-process;
+``ConcurrentEngine`` executes independent ready tasks in parallel on a
+bounded thread pool (:mod:`repro.engine.concurrent`); the distributed
 engine lives behind :mod:`repro.services` and adds persistence, transactions
 and crash recovery on the same semantics (:mod:`repro.engine.instance`).
 """
 
+from .concurrent import ConcurrentEngine, ConcurrentWorkflow
 from .context import (
     PendingExternal,
     TaskContext,
@@ -23,6 +26,8 @@ from .registry import ImplementationRegistry, ScriptBinding, TaskCallable
 
 __all__ = [
     "CompoundNode",
+    "ConcurrentEngine",
+    "ConcurrentWorkflow",
     "EventLog",
     "ImplementationRegistry",
     "InstanceTree",

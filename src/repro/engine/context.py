@@ -20,10 +20,11 @@ class the task class declares for that slot; pre-built refs pass through.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional
 
-from ..core.errors import ExecutionError
+from ..core.errors import ExecutionError, TaskTimeout
 from ..core.schema import OutputKind, TaskClass
 from ..core.values import ObjectRef
 
@@ -83,6 +84,12 @@ class TaskContext:
         properties: the ``implementation`` clause's keyword/value pairs.
         attempt: 1-based execution attempt (system retries increment it).
         repeats: how many repeat outcomes this instance has taken so far.
+        timeout: wall-clock budget (seconds) from the ``"timeout"``
+            implementation property, or None for no limit.  Enforcement is
+            cooperative: long-running implementations call
+            :meth:`check_timeout` (or consult :meth:`remaining`) at safe
+            points; the raised :class:`~repro.core.errors.TaskTimeout` then
+            follows the normal failure path (system retries, then abort).
     """
 
     def __init__(
@@ -95,6 +102,8 @@ class TaskContext:
         attempt: int = 1,
         repeats: int = 0,
         mark_sink: Optional[Callable[[str, Dict[str, ObjectRef]], None]] = None,
+        timeout: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.task_path = task_path
         self.taskclass = taskclass
@@ -104,11 +113,39 @@ class TaskContext:
         self.attempt = attempt
         self.repeats = repeats
         self._mark_sink = mark_sink
+        self.timeout = timeout
+        self._clock = clock
+        self.started_at = clock()
 
     def value(self, name: str, default: Any = None) -> Any:
         """Unwrap one input object's payload."""
         ref = self.inputs.get(name)
         return default if ref is None else ref.value
+
+    # -- wall-clock budget --------------------------------------------------------
+
+    def elapsed(self) -> float:
+        """Seconds since this execution attempt began."""
+        return self._clock() - self.started_at
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left in the task's wall-clock budget (None: unlimited)."""
+        if self.timeout is None:
+            return None
+        return self.timeout - self.elapsed()
+
+    @property
+    def timed_out(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0.0
+
+    def check_timeout(self) -> None:
+        """Raise :class:`TaskTimeout` if the wall-clock budget is exhausted."""
+        if self.timed_out:
+            raise TaskTimeout(
+                f"{self.task_path}: exceeded task timeout {self.timeout}s "
+                f"(elapsed {self.elapsed():.3f}s)"
+            )
 
     def mark(self, name: str, **objects: Any) -> None:
         """Emit a mark output now (early release).  The engine publishes it

@@ -16,6 +16,7 @@ execute; everything else lives here, so both engines share one semantics.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Callable, Deque, Dict, List, Mapping, Optional, Tuple, Union
 
@@ -79,6 +80,9 @@ class TaskNode:
         self.tracker = self._new_tracker()
         self.alive = True
         self.queued = False
+        # drained from the ready queue but not yet begun (concurrent engine):
+        # blocks re-enqueueing until the executor claims or releases the node
+        self.claimed = False
         self.attempt = 0           # system-retry counter
         self.chosen: Optional[Tuple[str, Dict[str, ObjectRef]]] = None
         # environment-supplied inputs (root task only): override the tracker
@@ -224,7 +228,15 @@ class CompoundNode(TaskNode):
 
 
 class InstanceTree:
-    """A running workflow instance (engine-independent semantics)."""
+    """A running workflow instance (engine-independent semantics).
+
+    All state-mutating entry points (``start``, ``take_ready``,
+    ``drain_ready``, ``begin_execution``, ``apply_*``, ``force_abort``,
+    ``reconfigure``) serialise on one re-entrant tree lock, so engines may
+    call them from several threads; task implementations always run
+    *outside* the lock.  Single-threaded engines pay one uncontended
+    acquire per call.
+    """
 
     def __init__(
         self,
@@ -243,6 +255,7 @@ class InstanceTree:
         self.default_retries = default_retries
         self.max_repeats = max_repeats
         self.root_scope = Scope("")
+        self.lock = threading.RLock()
         self.status = WorkflowStatus.RUNNING
         self.error: Optional[str] = None
         self._ready: Deque[TaskNode] = deque()
@@ -290,6 +303,10 @@ class InstanceTree:
 
     def start(self, input_set: str, inputs: Mapping[str, object]) -> None:
         """Kick off the root task with environment-supplied inputs."""
+        with self.lock:
+            self._start(input_set, inputs)
+
+    def _start(self, input_set: str, inputs: Mapping[str, object]) -> None:
         spec = self.root.taskclass.input_set(input_set)
         if spec is None and self.root.taskclass.input_sets:
             raise ExecutionError(
@@ -319,7 +336,7 @@ class InstanceTree:
                     )
         self.root.env_inputs = (input_set, coerced)
         self._enqueue_if_ready(self.root)
-        self.pump()
+        self._pump()
 
     def _start_node(
         self, node: TaskNode, input_set: str, inputs: Dict[str, ObjectRef]
@@ -353,6 +370,10 @@ class InstanceTree:
 
     def pump(self) -> None:
         """Propagate all pending events to listeners; fill the ready queue."""
+        with self.lock:
+            self._pump()
+
+    def _pump(self) -> None:
         while self._pending:
             if self.status is not WorkflowStatus.RUNNING:
                 self._pending.clear()
@@ -378,7 +399,7 @@ class InstanceTree:
         return getattr(scope, "owner_node", None)
 
     def _enqueue_if_ready(self, node: TaskNode) -> None:
-        if node.queued:
+        if node.queued or node.claimed:
             return
         readiness = node.ready()
         if readiness is None:
@@ -401,65 +422,101 @@ class InstanceTree:
     def take_ready(self) -> Optional[TaskNode]:
         """Next simple task to execute (highest priority first, FIFO within a
         priority level).  Returns None when nothing is ready."""
-        self.pump()
-        if not self._ready:
-            return None
-        best_index = max(
-            range(len(self._ready)), key=lambda i: (self._ready[i].priority(), -i)
-        )
-        # deque rotation to pop an arbitrary index
-        self._ready.rotate(-best_index)
-        node = self._ready.popleft()
-        self._ready.rotate(best_index)
-        node.queued = False
-        if node.ready() is None:  # stale (ancestor terminated meanwhile)
-            return self.take_ready()
-        return node
+        with self.lock:
+            self._pump()
+            if not self._ready:
+                return None
+            best_index = max(
+                range(len(self._ready)), key=lambda i: (self._ready[i].priority(), -i)
+            )
+            # deque rotation to pop an arbitrary index
+            self._ready.rotate(-best_index)
+            node = self._ready.popleft()
+            self._ready.rotate(best_index)
+            node.queued = False
+            if node.ready() is None:  # stale (ancestor terminated meanwhile)
+                return self.take_ready()
+            return node
+
+    def drain_ready(self, limit: Optional[int] = None) -> List[TaskNode]:
+        """Pop every currently-ready simple task (priority order), up to
+        ``limit``.  Drained nodes are *claimed*: they stay out of the ready
+        queue until an engine begins them (``try_begin_execution``), so two
+        concurrent drains can never hand the same node to two executors."""
+        with self.lock:
+            batch: List[TaskNode] = []
+            while limit is None or len(batch) < limit:
+                node = self.take_ready()
+                if node is None:
+                    break
+                node.claimed = True
+                batch.append(node)
+            return batch
 
     def has_work(self) -> bool:
-        self.pump()
-        return bool(self._ready) and self.status is WorkflowStatus.RUNNING
+        with self.lock:
+            self._pump()
+            return bool(self._ready) and self.status is WorkflowStatus.RUNNING
 
     # -- applying execution results (called by engines) ------------------------------------
 
     def begin_execution(self, node: TaskNode) -> Tuple[str, Dict[str, ObjectRef]]:
         """Transition a ready node into EXECUTING; returns (set, inputs)."""
-        readiness = node.ready()
-        if readiness is None:
-            raise ExecutionError(f"{node.path}: not ready")
-        input_set, inputs = readiness
-        self._start_node(node, input_set, inputs)
-        return input_set, inputs
+        with self.lock:
+            begun = self.try_begin_execution(node)
+            if begun is None:
+                raise ExecutionError(f"{node.path}: not ready")
+            return begun
+
+    def try_begin_execution(
+        self, node: TaskNode
+    ) -> Optional[Tuple[str, Dict[str, ObjectRef]]]:
+        """Like :meth:`begin_execution`, but returns None when the node went
+        stale between being dequeued/drained and being begun (an ancestor
+        terminated or repeated in the meantime — possible under concurrent
+        execution).  Always releases the node's drain claim."""
+        with self.lock:
+            node.claimed = False
+            readiness = node.ready()
+            if readiness is None:
+                return None
+            input_set, inputs = readiness
+            self._start_node(node, input_set, inputs)
+            return input_set, inputs
 
     def apply_mark(self, node: TaskNode, name: str, objects: Dict[str, ObjectRef]) -> None:
-        if not node.alive:
-            return
-        node.machine.mark(name)
-        self._publish(node.outer_scope, node, EventKind.MARK, name, objects)
-        self.pump()
+        with self.lock:
+            if not node.alive:
+                return
+            node.machine.mark(name)
+            self._publish(node.outer_scope, node, EventKind.MARK, name, objects)
+            self._pump()
 
     def apply_result(self, node: TaskNode, result: TaskResult) -> None:
         """Apply a terminal/repeat result produced by an implementation."""
-        if not node.alive or node.machine.state is not TaskState.EXECUTING:
-            return  # stale result (e.g. enclosing compound repeated/terminated)
-        objects = coerce_objects(node.taskclass, result.name, result.objects, node.path)
-        if result.kind is OutputKind.OUTCOME:
-            node.machine.complete(result.name)
-            self._publish(node.outer_scope, node, EventKind.OUTCOME, result.name, objects)
-        elif result.kind is OutputKind.ABORT:
-            node.machine.abort(result.name)
-            self._publish(node.outer_scope, node, EventKind.ABORT, result.name, objects)
-        elif result.kind is OutputKind.REPEAT:
-            if node.machine.repeats + 1 > self.max_repeats:
-                self.fail(f"{node.path}: exceeded max_repeats={self.max_repeats}")
-                return
-            node.machine.repeat(result.name)
-            self._publish(node.outer_scope, node, EventKind.REPEAT, result.name, objects)
-            node.reset_inputs()
-            self._enqueue_if_ready(node)
-        else:
-            raise ExecutionError(f"{node.path}: result kind {result.kind} is not terminal")
-        self._after_node_event(node)
+        with self.lock:
+            if not node.alive or node.machine.state is not TaskState.EXECUTING:
+                return  # stale result (e.g. enclosing compound repeated/terminated)
+            objects = coerce_objects(node.taskclass, result.name, result.objects, node.path)
+            if result.kind is OutputKind.OUTCOME:
+                node.machine.complete(result.name)
+                self._publish(node.outer_scope, node, EventKind.OUTCOME, result.name, objects)
+            elif result.kind is OutputKind.ABORT:
+                node.machine.abort(result.name)
+                self._publish(node.outer_scope, node, EventKind.ABORT, result.name, objects)
+            elif result.kind is OutputKind.REPEAT:
+                if node.machine.repeats + 1 > self.max_repeats:
+                    self.fail(f"{node.path}: exceeded max_repeats={self.max_repeats}")
+                    return
+                node.machine.repeat(result.name)
+                self._publish(node.outer_scope, node, EventKind.REPEAT, result.name, objects)
+                node.reset_inputs()
+                self._enqueue_if_ready(node)
+            else:
+                raise ExecutionError(
+                    f"{node.path}: result kind {result.kind} is not terminal"
+                )
+            self._after_node_event(node)
 
     def apply_failure(self, node: TaskNode, error: BaseException) -> bool:
         """System-level failure of an executing task.
@@ -468,49 +525,51 @@ class InstanceTree:
         retries); False if the failure was surfaced (abort outcome published
         or workflow failed).
         """
-        if not node.alive or node.machine.state is not TaskState.EXECUTING:
+        with self.lock:
+            if not node.alive or node.machine.state is not TaskState.EXECUTING:
+                return False
+            if node.machine.marked:
+                # Results already released: cannot pretend nothing happened.
+                self.fail(f"{node.path}: failed after producing a mark: {error!r}")
+                return False
+            node.attempt += 1
+            if node.attempt <= node.retry_limit():
+                node.machine.system_retry()
+                node.reset_inputs()
+                self._enqueue_if_ready(node)
+                self._pump()
+                return True
+            aborts = node.taskclass.outputs_of_kind(OutputKind.ABORT)
+            if aborts:
+                spec = aborts[0]
+                objects = {
+                    o.name: ObjectRef(o.class_name, None, node.path, spec.name)
+                    for o in spec.objects
+                }
+                node.machine.abort(spec.name)
+                self._publish(node.outer_scope, node, EventKind.ABORT, spec.name, objects)
+                self._after_node_event(node)
+                return False
+            self.fail(f"{node.path}: retries exhausted: {error!r}")
             return False
-        if node.machine.marked:
-            # Results already released: cannot pretend nothing happened.
-            self.fail(f"{node.path}: failed after producing a mark: {error!r}")
-            return False
-        node.attempt += 1
-        if node.attempt <= node.retry_limit():
-            node.machine.system_retry()
-            node.reset_inputs()
-            self._enqueue_if_ready(node)
-            self.pump()
-            return True
-        aborts = node.taskclass.outputs_of_kind(OutputKind.ABORT)
-        if aborts:
-            spec = aborts[0]
-            objects = {
-                o.name: ObjectRef(o.class_name, None, node.path, spec.name)
-                for o in spec.objects
-            }
-            node.machine.abort(spec.name)
-            self._publish(node.outer_scope, node, EventKind.ABORT, spec.name, objects)
-            self._after_node_event(node)
-            return False
-        self.fail(f"{node.path}: retries exhausted: {error!r}")
-        return False
 
     def force_abort(self, path: str, abort_name: Optional[str] = None) -> None:
         """Abort a task from the outside (timer expiry / user abort, Fig. 3)."""
-        node = self.node_at(path)
-        aborts = node.taskclass.outputs_of_kind(OutputKind.ABORT)
-        if abort_name is None:
-            if not aborts:
-                raise ExecutionError(f"{path}: taskclass declares no abort outcome")
-            abort_name = aborts[0].name
-        node.machine.abort(abort_name)
-        objects = {
-            o.name: ObjectRef(o.class_name, None, node.path, abort_name)
-            for o in node.taskclass.output(abort_name).objects
-        }
-        self._publish(node.outer_scope, node, EventKind.ABORT, abort_name, objects)
-        self._after_node_event(node)
-        self.pump()
+        with self.lock:
+            node = self.node_at(path)
+            aborts = node.taskclass.outputs_of_kind(OutputKind.ABORT)
+            if abort_name is None:
+                if not aborts:
+                    raise ExecutionError(f"{path}: taskclass declares no abort outcome")
+                abort_name = aborts[0].name
+            node.machine.abort(abort_name)
+            objects = {
+                o.name: ObjectRef(o.class_name, None, node.path, abort_name)
+                for o in node.taskclass.output(abort_name).objects
+            }
+            self._publish(node.outer_scope, node, EventKind.ABORT, abort_name, objects)
+            self._after_node_event(node)
+            self._pump()
 
     def _after_node_event(self, node: TaskNode) -> None:
         if node.machine.terminal and isinstance(node, CompoundNode):
@@ -522,11 +581,13 @@ class InstanceTree:
                 if node.machine.state is TaskState.COMPLETED
                 else WorkflowStatus.ABORTED
             )
-        self.pump()
+        self._pump()
 
     def fail(self, error: str) -> None:
-        self.status = WorkflowStatus.FAILED
-        self.error = error
+        with self.lock:
+            if self.status is WorkflowStatus.RUNNING:
+                self.status = WorkflowStatus.FAILED
+                self.error = error
 
     # -- compound output mapping --------------------------------------------------------------
 
@@ -613,18 +674,21 @@ class InstanceTree:
         replay).  Raises :class:`ReconfigurationError` without any effect if
         a rule is violated — the transactional all-or-nothing behaviour.
         """
-        root_name = self.root.local_name
-        if root_name not in new_script.tasks:
-            raise ReconfigurationError(
-                f"new script lost the running root task {root_name!r}"
+        with self.lock:
+            root_name = self.root.local_name
+            if root_name not in new_script.tasks:
+                raise ReconfigurationError(
+                    f"new script lost the running root task {root_name!r}"
+                )
+            plan: List[Callable[[], None]] = []
+            self._plan_reconfigure(
+                self.root, new_script.tasks[root_name], new_script, plan
             )
-        plan: List[Callable[[], None]] = []
-        self._plan_reconfigure(self.root, new_script.tasks[root_name], new_script, plan)
-        # all checks passed: apply
-        self.script = new_script
-        for action in plan:
-            action()
-        self.pump()
+            # all checks passed: apply
+            self.script = new_script
+            for action in plan:
+                action()
+            self._pump()
 
     def _plan_reconfigure(
         self,

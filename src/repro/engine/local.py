@@ -3,9 +3,12 @@
 Runs a workflow instance deterministically in one process: ready tasks
 execute synchronously, one at a time, in priority/FIFO order.  This engine is
 the reference implementation of the language semantics — fast enough for
-property-based testing and used by most examples; the distributed engine
-(:mod:`repro.engine.distributed`) adds the paper's system-level fault
-tolerance on top of the same :class:`~repro.engine.instance.InstanceTree`.
+property-based testing and used by most examples.  Two other engines build
+on the same :class:`~repro.engine.instance.InstanceTree` semantics: the
+concurrent engine (:mod:`repro.engine.concurrent`) dispatches all
+independent ready tasks in parallel on a thread pool, and the distributed
+execution service (:mod:`repro.services`) adds the paper's system-level
+fault tolerance.
 """
 
 from __future__ import annotations
@@ -20,6 +23,19 @@ from .context import PendingExternal, TaskContext, TaskResult, coerce_objects
 from .events import EventLog, WorkflowResult, WorkflowStatus
 from .instance import InstanceTree, TaskNode
 from .registry import ImplementationRegistry, ScriptBinding
+
+
+def task_timeout(node: TaskNode) -> Optional[float]:
+    """Wall-clock budget from the task's ``"timeout"`` implementation
+    property (seconds); None when absent, unparsable or non-positive."""
+    raw = node.decl.implementation.get("timeout")
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        return None
+    return value if value > 0 else None
 
 
 class LocalWorkflow:
@@ -60,14 +76,20 @@ class LocalWorkflow:
         self.tree.start(input_set, inputs or {})
 
     def step(self) -> bool:
-        """Execute one ready task.  Returns False when nothing was ready."""
+        """Execute one ready task.  Returns False when nothing was ready.
+
+        The step budget is checked *before* dequeueing: when it is already
+        exhausted and work remains, the tree fails without losing the ready
+        node (it stays queued, visible to diagnostics and reconfiguration).
+        """
+        if self._budget_remaining() <= 0:
+            if self.tree.has_work():
+                self.tree.fail(f"exceeded max_steps={self.max_steps}")
+            return False
         node = self.tree.take_ready()
         if node is None:
             return False
-        self.steps += 1
-        if self.steps > self.max_steps:
-            self.tree.fail(f"exceeded max_steps={self.max_steps}")
-            return False
+        self._charge_steps(1)
         self._execute(node)
         return True
 
@@ -76,6 +98,14 @@ class LocalWorkflow:
             if not self.step():
                 break
         return self.result()
+
+    # -- step budget -----------------------------------------------------------
+
+    def _budget_remaining(self) -> int:
+        return self.max_steps - self.steps
+
+    def _charge_steps(self, count: int) -> None:
+        self.steps += count
 
     # -- queries ------------------------------------------------------------------
 
@@ -149,7 +179,10 @@ class LocalWorkflow:
     # -- execution ----------------------------------------------------------------------
 
     def _execute(self, node: TaskNode) -> None:
-        input_set, inputs = self.tree.begin_execution(node)
+        begun = self.tree.try_begin_execution(node)
+        if begun is None:
+            return  # stale: an ancestor terminated or repeated meanwhile
+        input_set, inputs = begun
         code = node.decl.implementation.code
         try:
             binding = self.registry.resolve(code)
@@ -168,6 +201,7 @@ class LocalWorkflow:
             attempt=node.attempt + 1,
             repeats=node.machine.repeats,
             mark_sink=lambda name, objects: self.tree.apply_mark(node, name, objects),
+            timeout=task_timeout(node),
         )
         try:
             result = binding(context)
@@ -201,12 +235,21 @@ class LocalWorkflow:
         inputs: Mapping[str, ObjectRef],
     ) -> None:
         """Run a script bound as this task's implementation (§4.4: a compound
-        task used as code).  The sub-root's outputs become this task's."""
+        task used as code).  The sub-root's outputs become this task's.
+
+        The child draws on the *remaining* global step budget, and every
+        step it consumes is charged back to this workflow — nested script
+        bindings therefore share one budget instead of multiplying it.
+        """
+        remaining = self._budget_remaining()
+        if remaining <= 0:
+            self.tree.fail(f"exceeded max_steps={self.max_steps}")
+            return
         sub = LocalWorkflow(
             binding.script,
             binding.task_name,
             self.registry,
-            max_steps=self.max_steps - self.steps,
+            max_steps=remaining,
         )
         try:
             sub.start({name: ref for name, ref in inputs.items()}, input_set)
@@ -214,6 +257,8 @@ class LocalWorkflow:
         except Exception as exc:
             self.tree.apply_failure(node, exc)
             return
+        finally:
+            self._charge_steps(sub.steps)
         for mark_name, mark_objects in sub_result.marks:
             coerced = coerce_objects(
                 node.taskclass,
@@ -298,6 +343,15 @@ class LocalEngine:
                 )
             root_task = next(iter(script.tasks))
         registry = self.registry.child(**(bindings or {}))
+        return self._build(script, root_task, registry)
+
+    def _build(
+        self,
+        script: Script,
+        root_task: str,
+        registry: ImplementationRegistry,
+    ) -> LocalWorkflow:
+        """Workflow construction hook; subclasses swap the workflow class."""
         return LocalWorkflow(
             script,
             root_task,

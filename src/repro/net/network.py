@@ -114,9 +114,24 @@ class Network:
                     self._partitions.add(frozenset((a, b)))
 
     def heal(self, group_a: Optional[Set[str]] = None, group_b: Optional[Set[str]] = None) -> None:
-        """Heal a specific partition, or all partitions when called bare."""
-        if group_a is None or group_b is None:
+        """Heal partitions.
+
+        * ``heal()`` — clear every partition;
+        * ``heal(group_a, group_b)`` — heal only the ``group_a`` x ``group_b``
+          cut;
+        * ``heal(group)`` (one group) — heal every severed edge *touching*
+          that group, leaving unrelated partitions intact.  (Historically a
+          single-group call silently cleared all partitions, which let
+          partial-heal experiments pass vacuously.)
+        """
+        if group_a is None and group_b is None:
             self._partitions.clear()
+            return
+        if group_a is None or group_b is None:
+            touched = set(group_a if group_a is not None else group_b)
+            self._partitions = {
+                pair for pair in self._partitions if not (pair & touched)
+            }
             return
         for a in group_a:
             for b in group_b:

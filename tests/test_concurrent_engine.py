@@ -1,0 +1,290 @@
+"""Tests for the concurrent engine: equivalence with the sequential
+reference engine, genuine parallel dispatch, and the supporting machinery
+(drain_ready claims, thread-safe budget, cooperative task timeouts)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core import ScriptBuilder, TaskTimeout, from_input, from_output
+from repro.engine import (
+    ConcurrentEngine,
+    ConcurrentWorkflow,
+    ImplementationRegistry,
+    LocalEngine,
+    WorkflowStatus,
+    outcome,
+    pending,
+    repeat,
+)
+from repro.workloads import generators, paper_order, paper_service_impact, paper_trip
+from tests.conftest import build_pipeline_script, stage_registry
+
+
+def fingerprint(result):
+    """Everything the language semantics promise: outcome, output objects,
+    marks — engine-independent (the event log interleaving is not)."""
+    return (
+        result.status,
+        result.outcome,
+        {name: ref.value for name, ref in result.objects.items()},
+        [
+            (name, {k: v.value for k, v in objects.items()})
+            for name, objects in result.marks
+        ],
+    )
+
+
+class TestSequentialEquivalence:
+    @pytest.mark.parametrize(
+        "module,inputs",
+        [
+            (paper_order, {"order": "order-1"}),
+            (paper_trip, {"user": "demo-user"}),
+            (paper_service_impact, {"alarmsSource": "alarm-feed"}),
+        ],
+        ids=["order", "trip", "service-impact"],
+    )
+    def test_paper_examples_identical(self, module, inputs):
+        script = module.build()
+        registry = module.default_registry()
+        sequential = LocalEngine(registry).run(script, inputs=inputs)
+        concurrent = ConcurrentEngine(registry, parallelism=4).run(script, inputs=inputs)
+        assert fingerprint(concurrent) == fingerprint(sequential)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_dags_identical_across_seeds(self, seed):
+        script, registry, root, inputs = generators.random_dag(24, max_deps=3, seed=seed)
+        sequential = LocalEngine(registry).run(script, root, inputs=inputs)
+        concurrent = ConcurrentEngine(registry, parallelism=4).run(
+            script, root, inputs=inputs
+        )
+        rerun = ConcurrentEngine(registry, parallelism=4).run(script, root, inputs=inputs)
+        assert fingerprint(concurrent) == fingerprint(sequential)
+        assert fingerprint(rerun) == fingerprint(sequential)
+
+    def test_fan_out_identical(self):
+        script, registry, root, inputs = generators.fan(8)
+        sequential = LocalEngine(registry).run(script, root, inputs=inputs)
+        concurrent = ConcurrentEngine(registry, parallelism=4).run(
+            script, root, inputs=inputs
+        )
+        assert fingerprint(concurrent) == fingerprint(sequential)
+        assert concurrent.stats["steps"] == sequential.stats["steps"]
+
+    def test_pipeline_still_honours_dependency_order(self):
+        script = build_pipeline_script(4)
+        result = ConcurrentEngine(stage_registry(), parallelism=4).run(
+            script, inputs={"inp": "x"}
+        )
+        assert result.completed
+        assert result.value("out") == "x++++"
+        assert result.log.started_order() == [
+            "pipeline",
+            "pipeline/t1",
+            "pipeline/t2",
+            "pipeline/t3",
+            "pipeline/t4",
+        ]
+
+
+class TestParallelDispatch:
+    def test_independent_tasks_overlap(self):
+        script, _, root, inputs = generators.fan(6)
+        registry = ImplementationRegistry()
+        lock = threading.Lock()
+        active = {"now": 0, "peak": 0}
+
+        def sleepy(ctx):
+            with lock:
+                active["now"] += 1
+                active["peak"] = max(active["peak"], active["now"])
+            time.sleep(0.03)
+            with lock:
+                active["now"] -= 1
+            first = next(iter(ctx.inputs.values()), None)
+            return outcome("done", out=first.value if first else "x")
+
+        registry.register("stage", sleepy)
+        result = ConcurrentEngine(registry, parallelism=4).run(script, root, inputs=inputs)
+        assert result.completed
+        assert active["peak"] >= 2  # the fan's workers genuinely overlapped
+
+    def test_parallelism_one_degrades_to_sequential_loop(self):
+        script = build_pipeline_script(3)
+        result = ConcurrentEngine(stage_registry(), parallelism=1).run(
+            script, inputs={"inp": "x"}
+        )
+        assert result.completed
+        assert result.value("out") == "x+++"
+
+    def test_step_budget_enforced(self):
+        script, registry, root, inputs = generators.fan(8)
+        result = ConcurrentEngine(registry, parallelism=4, max_steps=3).run(
+            script, root, inputs=inputs
+        )
+        assert result.status is WorkflowStatus.FAILED
+        assert "max_steps=3" in result.error
+
+    def test_system_retries_still_work(self):
+        script = build_pipeline_script(2)
+        registry = ImplementationRegistry()
+
+        def flaky(ctx):
+            if ctx.attempt < 3:
+                raise RuntimeError(f"transient #{ctx.attempt}")
+            return outcome("done", out=f"{ctx.value('inp')}+")
+
+        registry.register("stage", flaky)
+        result = ConcurrentEngine(registry, parallelism=4).run(script, inputs={"inp": "x"})
+        assert result.completed
+        assert result.value("out") == "x++"
+
+    def test_repeat_outcomes_still_loop(self):
+        b = ScriptBuilder()
+        b.object_class("Data")
+        (
+            b.taskclass("Looper")
+            .input_set("main", inp="Data")
+            .outcome("done", out="Data")
+            .repeat_outcome("again", carry="Data")
+        )
+        b.taskclass("Root").input_set("main", inp="Data").outcome("done", out="Data")
+        c = b.compound("wf", "Root")
+        c.task("loop", "Looper").implementation(code="loop").input(
+            "main",
+            "inp",
+            from_output("loop", "again", "carry"),
+            from_input("wf", "main", "inp"),
+        ).up()
+        c.output("done").object("out", from_output("loop", "done", "out")).up()
+        c.up()
+
+        def loop(ctx):
+            if ctx.repeats < 3:
+                return repeat("again", carry=f"{ctx.value('inp')}+")
+            return outcome("done", out=ctx.value("inp"))
+
+        registry = ImplementationRegistry().register("loop", loop)
+        result = ConcurrentEngine(registry, parallelism=4).run(b.build(), inputs={"inp": "s"})
+        assert result.completed
+        assert result.value("out") == "s+++"
+
+    def test_pending_external_stalls_and_resumes(self):
+        script = build_pipeline_script(2)
+        registry = ImplementationRegistry()
+        registry.register("stage", lambda ctx: pending("waiting for a human"))
+        wf = ConcurrentEngine(registry, parallelism=4).workflow(script)
+        assert isinstance(wf, ConcurrentWorkflow)
+        wf.start({"inp": "x"})
+        first = wf.run_to_completion()
+        assert first.status is WorkflowStatus.STALLED
+        wf.complete_external("pipeline/t1", "done", out="by-hand")
+        registry.register("stage", lambda ctx: outcome("done", out=f"{ctx.value('inp')}+"))
+        result = wf.run_to_completion()
+        assert result.completed
+        assert result.value("out") == "by-hand+"
+
+
+class TestTaskTimeout:
+    def test_cooperative_timeout_aborts_task(self):
+        b = ScriptBuilder()
+        b.object_class("Data")
+        (
+            b.taskclass("Slow")
+            .input_set("main", inp="Data")
+            .outcome("done", out="Data")
+            .abort_outcome("tooSlow")
+        )
+        b.taskclass("Root").input_set("main", inp="Data").abort_outcome("gaveUp")
+        c = b.compound("wf", "Root")
+        c.task("slow", "Slow").implementation(
+            code="slow", timeout="0.01", retries="0"
+        ).input("main", "inp", from_input("wf", "main", "inp")).up()
+        c.output("gaveUp").notify(from_output("slow", "tooSlow")).up()
+        c.up()
+
+        seen = {}
+
+        def slow(ctx):
+            seen["timeout"] = ctx.timeout
+            time.sleep(0.03)
+            ctx.check_timeout()  # cooperative check: raises TaskTimeout
+            return outcome("done", out="never")
+
+        registry = ImplementationRegistry().register("slow", slow)
+        result = ConcurrentEngine(registry, parallelism=2).run(b.build(), inputs={"inp": "x"})
+        # the timeout failed the task; retries=0 surfaced its abort outcome
+        assert result.status is WorkflowStatus.ABORTED
+        assert result.outcome == "gaveUp"
+        assert seen["timeout"] == pytest.approx(0.01)
+
+    def test_timeout_visible_in_context_and_sequential_engine(self):
+        b = ScriptBuilder()
+        b.object_class("Data")
+        b.taskclass("Quick").input_set("main", inp="Data").outcome("done", out="Data")
+        b.taskclass("Root").input_set("main", inp="Data").outcome("done", out="Data")
+        c = b.compound("wf", "Root")
+        c.task("quick", "Quick").implementation(code="quick", timeout="5").input(
+            "main", "inp", from_input("wf", "main", "inp")
+        ).up()
+        c.output("done").object("out", from_output("quick", "done", "out")).up()
+        c.up()
+
+        def quick(ctx):
+            assert ctx.timeout == pytest.approx(5.0)
+            assert ctx.remaining() is not None and ctx.remaining() > 0
+            assert not ctx.timed_out
+            ctx.check_timeout()  # within budget: no-op
+            return outcome("done", out="fast")
+
+        registry = ImplementationRegistry().register("quick", quick)
+        result = LocalEngine(registry).run(b.build(), inputs={"inp": "x"})
+        assert result.completed
+        assert result.value("out") == "fast"
+
+    def test_check_timeout_raises_tasktimeout(self):
+        from repro.engine.context import TaskContext
+
+        ctx = TaskContext(
+            task_path="wf/slow",
+            taskclass=build_pipeline_script(1).taskclasses["Stage"],
+            input_set="main",
+            inputs={},
+            properties={},
+            timeout=0.001,
+        )
+        time.sleep(0.005)
+        assert ctx.timed_out
+        with pytest.raises(TaskTimeout):
+            ctx.check_timeout()
+
+
+class TestDrainReady:
+    def test_drain_claims_and_begin_releases(self):
+        script, registry, root, inputs = generators.fan(4)
+        wf = LocalEngine(registry).workflow(script, root)
+        wf.start(inputs)
+        # execute the source so the four workers become ready together
+        assert wf.step()
+        drained = wf.tree.drain_ready()
+        assert sorted(n.local_name for n in drained) == ["w1", "w2", "w3", "w4"]
+        assert all(n.claimed for n in drained)
+        # claimed nodes cannot be drained twice
+        assert wf.tree.drain_ready() == []
+        for node in drained:
+            begun = wf.tree.try_begin_execution(node)
+            assert begun is not None
+            assert not node.claimed
+
+    def test_drain_respects_limit(self):
+        script, registry, root, inputs = generators.fan(4)
+        wf = LocalEngine(registry).workflow(script, root)
+        wf.start(inputs)
+        assert wf.step()
+        batch = wf.tree.drain_ready(limit=2)
+        assert len(batch) == 2
+        assert len(wf.tree.drain_ready()) == 2  # the rest, on the next drain

@@ -142,6 +142,33 @@ class TestPartitions:
         assert not net.partitioned("a", "b")
         assert net.partitioned("a", "c")
 
+    def test_heal_single_group_only_touches_that_group(self):
+        # regression: heal(group) used to silently clear *all* partitions,
+        # letting partial-heal experiments pass vacuously
+        clock, net = make()
+        net.partition({"a"}, {"b"})
+        net.partition({"c"}, {"d"})
+        net.heal({"a"})
+        assert not net.partitioned("a", "b")
+        assert net.partitioned("c", "d")
+
+    def test_heal_single_group_via_keyword(self):
+        clock, net = make()
+        net.partition({"a"}, {"b"})
+        net.partition({"c"}, {"d"})
+        net.heal(group_b={"d"})
+        assert net.partitioned("a", "b")
+        assert not net.partitioned("c", "d")
+
+    def test_heal_single_group_heals_every_touching_edge(self):
+        clock, net = make()
+        net.partition({"a"}, {"b", "c"})
+        net.partition({"b"}, {"c"})
+        net.heal({"b"})
+        assert net.partitioned("a", "c")
+        assert not net.partitioned("a", "b")
+        assert not net.partitioned("b", "c")
+
     def test_partition_forming_mid_flight_drops_message(self):
         clock, net = make()
         got = []
