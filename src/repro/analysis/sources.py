@@ -1,0 +1,83 @@
+"""Locating analysable scripts: ``.wf`` text files and Python-embedded ones.
+
+The repository's examples and workloads embed their script texts as
+module-level ``SCRIPT`` / ``SCRIPT_TEXT`` constants; CI runs the analyser
+over all of them (``repro lint examples/*.py``).  This module loads such a
+``.py`` file *as a module* (its ``__main__`` guard keeps it from running)
+and yields every embedded script, so the CLI, the CI job and the
+known-findings baseline test share one extraction rule.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+_EMBED_SUFFIXES = ("SCRIPT", "SCRIPT_TEXT")
+
+
+def iter_embedded_scripts(path: str) -> Iterator[Tuple[str, str]]:
+    """Yield ``(name, script_text)`` for every embedded script in ``path``.
+
+    A ``.py`` file contributes each module-level string attribute whose name
+    is or ends with ``SCRIPT``/``SCRIPT_TEXT``; any other file contributes
+    its whole contents under its own name.
+    """
+    file = Path(path)
+    if file.suffix != ".py":
+        yield file.name, file.read_text(encoding="utf-8")
+        return
+    dotted = _package_module_name(file)
+    if dotted is not None:
+        # a module inside an importable package (e.g. repro.workloads.*):
+        # relative imports only resolve through the real import machinery
+        module = importlib.import_module(dotted)
+        yield from _embedded_attrs(file, module)
+        return
+    module_name = f"_repro_embedded_{file.stem}"
+    spec = importlib.util.spec_from_file_location(module_name, file)
+    if spec is None or spec.loader is None:  # pragma: no cover - defensive
+        raise ImportError(f"cannot load {path!r}")
+    module = importlib.util.module_from_spec(spec)
+    # registered so dataclasses/pickling inside the example resolve, removed
+    # right after: extraction must not leave import side effects behind
+    sys.modules[module_name] = module
+    try:
+        spec.loader.exec_module(module)
+        yield from _embedded_attrs(file, module)
+    finally:
+        sys.modules.pop(module_name, None)
+
+
+def _package_module_name(file: Path) -> Optional[str]:
+    """Dotted module name for ``file`` if it sits inside a package whose root
+    is importable from ``sys.path``; ``None`` for standalone scripts."""
+    parts = [file.stem]
+    directory = file.resolve().parent
+    while (directory / "__init__.py").exists():
+        parts.append(directory.name)
+        directory = directory.parent
+    if len(parts) == 1:
+        return None
+    if str(directory) not in [str(Path(p).resolve()) for p in sys.path if p]:
+        return None
+    return ".".join(reversed(parts))
+
+
+def _embedded_attrs(file: Path, module) -> Iterator[Tuple[str, str]]:
+    for attr in sorted(vars(module)):
+        if not attr.upper().endswith(_EMBED_SUFFIXES):
+            continue
+        value = getattr(module, attr)
+        if isinstance(value, str) and value.strip():
+            yield f"{file.name}:{attr}", value
+
+
+def load_scripts(paths: List[str]) -> List[Tuple[str, str]]:
+    """Flatten :func:`iter_embedded_scripts` over many paths."""
+    found: List[Tuple[str, str]] = []
+    for path in paths:
+        found.extend(iter_embedded_scripts(path))
+    return found

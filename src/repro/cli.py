@@ -5,8 +5,22 @@ Mirrors the repository-service operations plus the graphical export::
     python -m repro.cli validate  script.wf         # parse + semantic check
     python -m repro.cli format    script.wf         # canonical pretty-print
     python -m repro.cli inspect   script.wf         # structural summary
+    python -m repro.cli lint      script.wf ...     # static analysis report
+    python -m repro.cli analyze   script.wf [task]  # static vs dynamic reachability
     python -m repro.cli dot       script.wf [task]  # Graphviz export
     python -m repro.cli demo      order|trip|service-impact
+
+``lint`` accepts ``.wf`` script files *and* ``.py`` files with embedded
+``SCRIPT`` constants (the examples/ and workload layout), and renders the
+unified static-analysis report as text, JSON, or SARIF 2.1.0.
+
+Exit codes (``lint`` and ``analyze``):
+
+* ``0`` — clean, or warning-severity findings only;
+* ``1`` — at least one error-severity finding (with ``lint --strict``,
+  warnings also fail), an unreachable outcome, or a static/dynamic
+  disagreement;
+* ``2`` — a script could not even be parsed.
 """
 
 from __future__ import annotations
@@ -73,24 +87,87 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    from .core.analysis import analyze_outcomes
+    from .analysis import analyze_script
 
     script = compile_script(_read(args.script))
+    report = analyze_script(script, root_task=args.task, source_name=args.script)
+    if args.static:
+        print(report.render_text())
+        return 0 if report.ok else 1
+
+    # side-by-side: the static may-analysis against the dynamic explorer,
+    # which *executes* the workflow under every implementation choice.
+    from .core.analysis import analyze_outcomes
+
     analysis = analyze_outcomes(script, args.task, max_cases=args.max_cases)
+    static_reachable = set(report.liveness.reachable_outcomes) if report.liveness else set()
+    static_unreachable = set(report.liveness.unreachable_outcomes) if report.liveness else set()
+    dynamic_reachable = set(analysis.reachable)
+    dynamic_unreachable = set(analysis.unreachable)
+    print(f"{'outcome':<24} {'static':<12} dynamic")
+    for name in sorted(static_reachable | static_unreachable | dynamic_reachable | dynamic_unreachable):
+        s = "reachable" if name in static_reachable else "unreachable"
+        d = "reachable" if name in dynamic_reachable else "unreachable"
+        print(f"{name:<24} {s:<12} {d}")
+    print()
+    print(report.render_text())
+    print()
     print(analysis.summary())
-    return 1 if analysis.unreachable else 0
+    disagreement = False
+    for name in sorted(static_unreachable & dynamic_reachable):
+        # the dynamic explorer produced a real witness for an outcome the
+        # may-analysis calls impossible: the static analyser is unsound here.
+        disagreement = True
+        print(
+            f"ANALYZER BUG: outcome {name!r} is statically unreachable but a "
+            f"dynamic execution reached it — please report this."
+        )
+    for name in sorted(static_reachable & dynamic_unreachable):
+        disagreement = True
+        print(
+            f"DISAGREEMENT: outcome {name!r} is statically reachable but no "
+            f"dynamic execution reached it (static over-approximation or an "
+            f"exploration bound; treat as a possible analyzer bug)."
+        )
+    if not disagreement:
+        print("static and dynamic reachability agree")
+    return 1 if disagreement or analysis.unreachable or not report.ok else 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    from .lang import lint_script
+    import json
 
-    script = compile_script(_read(args.script))
-    warnings = lint_script(script)
-    for warning in warnings:
-        print(warning)
-    if not warnings:
-        print("clean: no lint findings")
-    return 1 if warnings and args.strict else 0
+    from .analysis import analyze_script, load_scripts, to_sarif
+
+    sources = []
+    artifacts = {}
+    for path in args.scripts:
+        for name, text in load_scripts([path]):
+            sources.append((name, text))
+            artifacts[name] = path
+    reports = []
+    for name, text in sources:
+        try:
+            script = parse(text)
+        except ParseError as exc:
+            print(f"{name}: PARSE ERROR: {exc}", file=sys.stderr)
+            return 2
+        reports.append(analyze_script(script, source_name=name))
+    if args.format == "sarif":
+        rendered = json.dumps(to_sarif(reports, artifacts=artifacts), indent=2)
+    elif args.format == "json":
+        rendered = json.dumps([r.as_dict() for r in reports], indent=2)
+    else:
+        rendered = "\n".join(r.render_text() for r in reports)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(rendered + "\n")
+    else:
+        print(rendered)
+    failed = any(not r.ok for r in reports) or (
+        args.strict and any(r.findings for r in reports)
+    )
+    return 1 if failed else 0
 
 
 def cmd_dot(args: argparse.Namespace) -> int:
@@ -142,16 +219,41 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.set_defaults(fn=cmd_inspect)
 
     analyze = commands.add_parser(
-        "analyze", help="outcome reachability analysis (exhaustive, bounded)"
+        "analyze",
+        help="static + dynamic outcome reachability, cross-checked "
+        "(exit 1 on errors, unreachable outcomes, or disagreement)",
     )
     analyze.add_argument("script")
     analyze.add_argument("task", nargs="?", default=None)
     analyze.add_argument("--max-cases", type=int, default=20_000)
+    analyze.add_argument(
+        "--static",
+        action="store_true",
+        help="static analysis only: skip the dynamic explorer and the "
+        "side-by-side comparison",
+    )
     analyze.set_defaults(fn=cmd_analyze)
 
-    lint = commands.add_parser("lint", help="quality diagnostics")
-    lint.add_argument("script")
-    lint.add_argument("--strict", action="store_true", help="findings fail the run")
+    lint = commands.add_parser(
+        "lint",
+        help="static analysis report (exit 0 clean/warnings, 1 errors, "
+        "2 parse failure)",
+    )
+    lint.add_argument(
+        "scripts",
+        nargs="+",
+        help=".wf script files or .py files with embedded SCRIPT constants",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        help="report rendering (SARIF 2.1.0 for CI annotation)",
+    )
+    lint.add_argument("--output", help="write the report to a file instead of stdout")
+    lint.add_argument(
+        "--strict", action="store_true", help="any finding fails the run"
+    )
     lint.set_defaults(fn=cmd_lint)
 
     dot = commands.add_parser("dot", help="Graphviz export")

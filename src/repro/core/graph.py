@@ -11,7 +11,7 @@ figure-regeneration benchmarks and by the structural diagnostics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import networkx as nx
 
@@ -40,11 +40,23 @@ class _ScopeInfo:
 
 
 class Validator:
-    """Collects every schema error in a script (does not stop at the first)."""
+    """Collects every schema error in a script (does not stop at the first).
 
-    def __init__(self, script: Script) -> None:
+    Each error also carries a stable diagnostic code (``E1xx``, declared in
+    :mod:`repro.analysis.registry`) in :attr:`coded` so the static analyser
+    can merge validation into its unified report.  ``placeholders`` names
+    producers to skip silently — the template parameters of a
+    :class:`~repro.core.schema.TaskTemplate` body, opaque until
+    instantiation.
+    """
+
+    def __init__(
+        self, script: Script, placeholders: Iterable[str] = ()
+    ) -> None:
         self.script = script
         self.errors: List[SchemaError] = []
+        self.coded: List[Tuple[str, str, str]] = []  # (code, location, message)
+        self.placeholders: Set[str] = set(placeholders)
 
     # -- public ------------------------------------------------------------------
 
@@ -115,6 +127,7 @@ class Validator:
                 self._error(
                     f"taskclass {taskclass.name!r} has no input set {binding.name!r}",
                     decl.name,
+                    code="E106",
                 )
                 continue
             bound = {b.name for b in binding.objects}
@@ -123,11 +136,13 @@ class Validator:
                 self._error(
                     f"input set {binding.name!r} does not bind object {missing!r}",
                     decl.name,
+                    code="E106",
                 )
             for extra in sorted(bound - declared):
                 self._error(
                     f"input set {binding.name!r} binds unknown object {extra!r}",
                     decl.name,
+                    code="E106",
                 )
             for obj_binding in binding.objects:
                 obj_spec = spec.object(obj_binding.name)
@@ -166,6 +181,7 @@ class Validator:
                         f"compound does not map output {out_spec.name!r} "
                         f"(which carries objects)",
                         decl.name,
+                        code="E108",
                     )
                 continue
             mapped = {b.name for b in binding.objects}
@@ -174,15 +190,19 @@ class Validator:
                 self._error(
                     f"output {out_spec.name!r} does not map object {missing!r}",
                     decl.name,
+                    code="E108",
                 )
             for extra in sorted(mapped - declared):
                 self._error(
                     f"output {out_spec.name!r} maps unknown object {extra!r}",
                     decl.name,
+                    code="E108",
                 )
             if not binding.objects and not binding.notifications:
                 self._error(
-                    f"output {out_spec.name!r} has an empty mapping", decl.name
+                    f"output {out_spec.name!r} has an empty mapping",
+                    decl.name,
+                    code="E108",
                 )
             for obj_binding in binding.objects:
                 obj_spec = out_spec.object(obj_binding.name)
@@ -198,7 +218,7 @@ class Validator:
                         consumer_name=decl.name,
                     )
         for extra in sorted(bound_outputs - {o.name for o in taskclass.outputs}):
-            self._error(f"mapping for unknown output {extra!r}", decl.name)
+            self._error(f"mapping for unknown output {extra!r}", decl.name, code="E108")
 
     # -- sources ----------------------------------------------------------------------
 
@@ -213,13 +233,17 @@ class Validator:
     ) -> None:
         where = f"{decl.name}.{context}"
         consumer = consumer_name or decl.name
+        if source.task_name in self.placeholders:
+            return  # template parameter: producer opaque until instantiation
         entry = scope.names.get(source.task_name)
         if entry is None:
-            self._error(f"source names unknown task {source.task_name!r}", where)
+            self._error(
+                f"source names unknown task {source.task_name!r}", where, code="E101"
+            )
             return
         producer_class, _is_enclosing = entry
         if source.object_name is None and source.guard_kind is GuardKind.ANY:
-            self._error("notification source must carry an `if` guard", where)
+            self._error("notification source must carry an `if` guard", where, code="E102")
             return
         if source.guard_kind is GuardKind.OUTPUT:
             out = producer_class.output(source.guard_name)
@@ -228,6 +252,7 @@ class Validator:
                     f"task {source.task_name!r} ({producer_class.name}) has no "
                     f"output {source.guard_name!r}",
                     where,
+                    code="E102",
                 )
                 return
             if out.kind is OutputKind.REPEAT and source.task_name != consumer:
@@ -237,6 +262,7 @@ class Validator:
                         f"object from repeat output {source.guard_name!r} of "
                         f"another task {source.task_name!r}",
                         where,
+                        code="E105",
                     )
                     return
             if source.object_name is not None:
@@ -246,6 +272,7 @@ class Validator:
                         f"output {source.guard_name!r} of {source.task_name!r} "
                         f"carries no object {source.object_name!r}",
                         where,
+                        code="E103",
                     )
                     return
                 self._check_compatible(produced, obj_spec, where)
@@ -256,6 +283,7 @@ class Validator:
                     f"task {source.task_name!r} ({producer_class.name}) has no "
                     f"input set {source.guard_name!r}",
                     where,
+                    code="E102",
                 )
                 return
             if source.object_name is not None:
@@ -265,6 +293,7 @@ class Validator:
                         f"input set {source.guard_name!r} of {source.task_name!r} "
                         f"carries no object {source.object_name!r}",
                         where,
+                        code="E103",
                     )
                     return
                 self._check_compatible(carried, obj_spec, where)
@@ -280,6 +309,7 @@ class Validator:
                     f"no outcome/mark of {source.task_name!r} carries object "
                     f"{source.object_name!r}",
                     where,
+                    code="E103",
                 )
                 return
             for out in candidates:
@@ -298,10 +328,12 @@ class Validator:
                 f"class mismatch: source provides {produced.class_name!r}, "
                 f"consumer expects {expected.class_name!r}",
                 where,
+                code="E104",
             )
 
-    def _error(self, message: str, location: str) -> None:
+    def _error(self, message: str, location: str, code: str = "E107") -> None:
         self.errors.append(SchemaError(message, location))
+        self.coded.append((code, location, message))
 
 
 def validate_script(script: Script) -> List[SchemaError]:

@@ -7,7 +7,7 @@ engine lives behind :mod:`repro.services` and adds persistence, transactions
 and crash recovery on the same semantics (:mod:`repro.engine.instance`).
 """
 
-from .concurrent import ConcurrentEngine, ConcurrentWorkflow
+from .concurrent import ConcurrentEngine, ConcurrentWorkflow, enabled_pairs
 from .context import (
     PendingExternal,
     TaskContext,
@@ -44,6 +44,7 @@ __all__ = [
     "WorkflowStatus",
     "abort",
     "coerce_objects",
+    "enabled_pairs",
     "outcome",
     "pending",
     "render_summary",

@@ -37,13 +37,28 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Mapping, Optional
+from typing import FrozenSet, Mapping, Optional, Set
 
 from ..core.schema import Script
 from .events import WorkflowResult, WorkflowStatus
-from .instance import TaskNode
+from .instance import InstanceTree, TaskNode
 from .local import LocalEngine, LocalWorkflow
 from .registry import ImplementationRegistry
+
+
+def enabled_pairs(tree: InstanceTree) -> Set[FrozenSet[str]]:
+    """The pairs of simple tasks currently *simultaneously enabled*: both
+    would be handed out by one ``drain_ready()`` cycle and therefore may
+    execute concurrently.  This is the single definition of the engine's
+    enablement relation, shared with the static interference analysis
+    (:mod:`repro.analysis.interference`), whose ``W301`` findings must
+    over-approximate every pair this function can ever return."""
+    ready = tree.peek_ready()
+    return {
+        frozenset((a.path, b.path))
+        for i, a in enumerate(ready)
+        for b in ready[i + 1 :]
+    }
 
 
 class ConcurrentWorkflow(LocalWorkflow):

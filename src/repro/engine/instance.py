@@ -453,6 +453,17 @@ class InstanceTree:
                 batch.append(node)
             return batch
 
+    def peek_ready(self) -> List[TaskNode]:
+        """Every simple task currently ready to execute, without dequeuing or
+        claiming any of them.  This *is* the concurrent engine's enablement
+        relation: ``drain_ready()`` returns exactly these nodes (claimed),
+        and any two of them may run simultaneously.  The static interference
+        analysis (:mod:`repro.analysis.interference`) over-approximates the
+        set of pairs this method can ever return together."""
+        with self.lock:
+            self._pump()
+            return [node for node in self._ready if node.ready() is not None]
+
     def has_work(self) -> bool:
         with self.lock:
             self._pump()

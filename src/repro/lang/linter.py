@@ -2,8 +2,13 @@
 
 The repository service accepts any *valid* script; these checks flag scripts
 that are valid but probably wrong — the class of mistakes the paper's
-examples show are easy to make (its own listings contain one).  Each finding
-carries a stable code so tools can filter:
+examples show are easy to make (its own listings contain one).
+
+Every code this linter can emit is declared (with severity and long
+description) in the central registry,
+:data:`repro.analysis.registry.DIAGNOSTICS`; :meth:`Linter._warn` refuses
+unregistered codes, so a new check cannot silently collide with an existing
+or retired code.  The live ``W0xx`` codes:
 
 * ``W001`` dependency cycle among constituents (no repeat outcome involved):
   the tasks on the cycle can never start.
@@ -17,6 +22,10 @@ carries a stable code so tools can filter:
   workflow silently loses the branch.
 * ``W008`` unused declaration (object class, task class or template never
   referenced).
+
+``W004`` and ``W006`` — draft checks documented in early versions of this
+module but never implemented — are *retired* in the registry: permanently
+reserved, never to be reused with a different meaning.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Set
 
+from ..analysis.registry import DIAGNOSTICS
 from ..core.graph import find_cycles
 from ..core.schema import (
     AnyTaskDecl,
@@ -168,6 +178,7 @@ class Linter:
         return any(uses(t.body) for t in self.script.templates.values())
 
     def _warn(self, code: str, location: str, message: str) -> None:
+        DIAGNOSTICS.require(code)  # KeyError on unknown/retired codes
         self.warnings.append(LintWarning(code, location, message))
 
 

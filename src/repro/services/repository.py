@@ -28,10 +28,20 @@ REPOSITORY_INTERFACE = Interface(
 class RepositoryService(Service):
     """CRUD + validation for named, versioned workflow scripts."""
 
-    def __init__(self, name: str, store: ObjectStore, manager: Optional[TransactionManager] = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        store: ObjectStore,
+        manager: Optional[TransactionManager] = None,
+        strict_admission: bool = False,
+    ) -> None:
         super().__init__(name)
         self.store = store
         self.manager = manager or TransactionManager(f"{name}-tm")
+        # opt-in: also run the whole-script static analyser on submission and
+        # reject scripts with any error-severity finding (unreachable
+        # outcomes, dead tasks, guaranteed stalls) — not just invalid ones
+        self.strict_admission = strict_admission
 
     # -- operations (exposed through the ORB) -------------------------------------
 
@@ -39,9 +49,21 @@ class RepositoryService(Service):
         """Validate and store a new version of ``script_name``.
 
         Returns the stored version number (1 for a new script).  Invalid
-        scripts are rejected and nothing is stored.
+        scripts are rejected and nothing is stored; under
+        ``strict_admission`` a valid script whose static analysis
+        (:func:`repro.analysis.analyze_script`) reports error-severity
+        findings is rejected too.
         """
-        compile_script(text)  # raises ParseError / ValidationReport
+        script = compile_script(text)  # raises ParseError / ValidationReport
+        if self.strict_admission:
+            from ..analysis import analyze_script
+
+            report = analyze_script(script, source_name=script_name)
+            if not report.ok:
+                details = "; ".join(str(f) for f in report.errors())
+                raise SchemaError(
+                    f"strict admission rejected {script_name!r}: {details}"
+                )
 
         def body(txn) -> int:
             history: List[str] = list(txn.read(self.store, self._key(script_name), []))

@@ -1,0 +1,61 @@
+"""Known-findings baseline: the static analyser over every embedded script
+in ``examples/`` and the three paper workloads.
+
+``tests/known_findings.json`` pins the expected findings (code + location)
+per script.  A new finding on existing scripts — or one silently
+disappearing — fails here, so analyser changes must update the baseline
+deliberately.  The W301 entries on the order and trip workloads are the
+paper's own concurrency: "t2 and t3 can be performed concurrently" (§3) is
+exactly the flagged paymentAuthorisation/checkStock pair.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_script, load_scripts
+from repro.lang import parse
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = Path(__file__).resolve().parent / "known_findings.json"
+
+
+def current_findings():
+    paths = sorted(glob.glob(str(REPO / "examples" / "*.py"))) + sorted(
+        glob.glob(str(REPO / "src" / "repro" / "workloads" / "paper_*.py"))
+    )
+    findings = {}
+    for name, text in load_scripts(paths):
+        report = analyze_script(parse(text), source_name=name)
+        findings[name] = [f"{f.code} {f.location}" for f in report.findings]
+    return findings
+
+
+def test_baseline_matches_analyzer_output():
+    expected = json.loads(BASELINE.read_text(encoding="utf-8"))
+    actual = current_findings()
+    assert actual == expected, (
+        "static-analysis findings drifted from tests/known_findings.json; "
+        "if the change is intentional, regenerate the baseline"
+    )
+
+
+def test_baseline_has_no_errors():
+    """Every shipped example and workload must be free of error-severity
+    findings (warnings are allowed and pinned above)."""
+    for name, entries in current_findings().items():
+        assert not [e for e in entries if e.startswith("E")], name
+
+
+def test_baseline_covers_all_embedded_scripts():
+    expected = json.loads(BASELINE.read_text(encoding="utf-8"))
+    assert set(expected) == set(current_findings())
+    # the paper's §3 concurrency shows up as exactly one order-workload race
+    assert expected["paper_order.py:SCRIPT_TEXT"] == [
+        "W301 processOrderApplication/paymentAuthorisation "
+        "<-> processOrderApplication/checkStock"
+    ]
