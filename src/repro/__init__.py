@@ -58,20 +58,32 @@ from .engine import (
     repeat,
 )
 from .lang import compile_script, format_script, parse
+from .resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    HealthRegistry,
+    ResilienceConfig,
+    RetryPolicy,
+)
 from .services import WorkflowSystem
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BreakerConfig",
+    "CircuitBreaker",
     "ConcurrentEngine",
     "ConcurrentWorkflow",
     "GuardKind",
+    "HealthRegistry",
     "ImplementationRegistry",
     "LocalEngine",
     "LocalWorkflow",
     "ObjectRef",
     "OutputKind",
     "ReconfigurationError",
+    "ResilienceConfig",
+    "RetryPolicy",
     "SchemaError",
     "Script",
     "ScriptBuilder",

@@ -187,6 +187,8 @@ def cmd_demo(args: argparse.Namespace) -> int:
     module, inputs = demos[args.name]
     script = module.build()
     registry = module.default_registry()
+    if args.distributed:
+        return _demo_distributed(args, module, inputs, registry)
     if args.parallelism > 1:
         engine = ConcurrentEngine(registry, parallelism=args.parallelism)
     else:
@@ -197,6 +199,68 @@ def cmd_demo(args: argparse.Namespace) -> int:
     print()
     print(render_summary(result.log))
     return 0 if result.completed else 1
+
+
+def _demo_distributed(args, module, inputs, registry) -> int:
+    """Run a demo on the full simulated distributed system, optionally under
+    chaos, and show the workflow trace alongside the dispatcher's resilience
+    decisions (redispatches, hedges, breaker trips)."""
+    from .net.failures import RandomCrasher
+    from .resilience import ResilienceConfig
+    from .services.system import WorkflowSystem
+
+    if args.no_resilience:
+        resilience = ResilienceConfig.disabled()
+    else:
+        resilience = ResilienceConfig.for_timeouts(
+            args.dispatch_timeout,
+            args.sweep_interval,
+            seed=args.seed,
+            hedging=args.hedge_delay != 0.0,
+            max_redispatches=args.max_redispatches,
+        )
+        if args.hedge_delay is not None and args.hedge_delay > 0.0:
+            import dataclasses
+
+            resilience = dataclasses.replace(resilience, hedge_delay=args.hedge_delay)
+    system = WorkflowSystem(
+        workers=args.workers,
+        loss_rate=args.loss_rate,
+        seed=args.seed,
+        dispatch_timeout=args.dispatch_timeout,
+        sweep_interval=args.sweep_interval,
+        registry=registry,
+        resilience=resilience,
+    )
+    crasher = None
+    if args.chaos_interval > 0.0:
+        crash_targets = list(system.worker_nodes)
+        crasher = RandomCrasher(
+            system.clock,
+            crash_targets,
+            interval=args.chaos_interval,
+            downtime=args.chaos_downtime,
+            seed=args.seed,
+        ).start()
+    system.deploy(args.name, module.SCRIPT_TEXT)
+    iid = system.instantiate(args.name, module.ROOT_TASK, inputs)
+    result = system.run_until_terminal(iid, max_time=50_000.0)
+    if crasher is not None:
+        crasher.stop()
+    print(f"outcome: {result.get('outcome')}  (status: {result['status']})\n")
+    print(system.execution.trace(iid))
+    print()
+    report = system.execution.resilience_report()
+    stats = report["stats"]
+    print(
+        f"dispatches={stats['dispatches']} redispatches={stats['redispatches']} "
+        f"hedges={stats['hedges']} failovers={stats['failovers']} "
+        f"breaker-trips={stats['breaker_trips']} abandoned={stats['abandoned']} "
+        f"recoveries={stats['recoveries']}"
+    )
+    if crasher is not None:
+        print(f"chaos: {len(crasher.injected)} worker crashes injected")
+    return 0 if result["status"] == "completed" else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -269,6 +333,57 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="run independent ready tasks on N worker threads (default: 1, sequential)",
+    )
+    demo.add_argument(
+        "--distributed",
+        action="store_true",
+        help="run on the full simulated distributed system (repository, "
+        "execution service, worker pool) instead of the local engine",
+    )
+    demo.add_argument(
+        "--workers", type=int, default=3, metavar="N",
+        help="worker-node pool size for --distributed (default: 3)",
+    )
+    demo.add_argument(
+        "--loss-rate", type=float, default=0.0, metavar="P",
+        help="message-loss probability for --distributed (default: 0)",
+    )
+    demo.add_argument(
+        "--chaos-interval", type=float, default=0.0, metavar="T",
+        help="mean virtual time between random worker crashes "
+        "(0 disables chaos; --distributed only)",
+    )
+    demo.add_argument(
+        "--chaos-downtime", type=float, default=20.0, metavar="T",
+        help="how long a chaos-crashed worker stays down (default: 20)",
+    )
+    demo.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for latency, loss, chaos and dispatch jitter (default: 0)",
+    )
+    demo.add_argument(
+        "--dispatch-timeout", type=float, default=30.0, metavar="T",
+        help="base redispatch delay for --distributed (default: 30)",
+    )
+    demo.add_argument(
+        "--sweep-interval", type=float, default=10.0, metavar="T",
+        help="dispatcher sweep period for --distributed (default: 10)",
+    )
+    demo.add_argument(
+        "--no-resilience",
+        action="store_true",
+        help="use the legacy fixed-interval dispatcher (no backoff, "
+        "breakers, health routing or hedging)",
+    )
+    demo.add_argument(
+        "--hedge-delay", type=float, default=None, metavar="T",
+        help="hedged-dispatch delay (0 disables hedging; default: "
+        "2 x sweep interval)",
+    )
+    demo.add_argument(
+        "--max-redispatches", type=int, default=40, metavar="N",
+        help="redispatch cap before a flight is abandoned as a system "
+        "failure (default: 40)",
     )
     demo.set_defaults(fn=cmd_demo)
 

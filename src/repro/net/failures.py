@@ -51,16 +51,27 @@ class FaultPlan:
         return self
 
     def arm(self) -> None:
-        """Schedule every planned event on the clock.  Idempotent."""
+        """Schedule every planned event on the clock.  Idempotent.
+
+        ``history`` records only *executed* crashes: an event is appended
+        when its scheduled callback actually fires and finds the node alive,
+        not at arm time — so a plan armed but never run (or a crash of an
+        already-dead node) leaves no trace.
+        """
         if self._armed:
             return
         self._armed = True
         for event in self._pending:
             node = self._nodes[event.node]
-            self.clock.call_at(event.crash_time, node.crash, label=f"crash:{node.name}")
+
+            def fire(node=node, event=event) -> None:
+                if node.alive:
+                    node.crash()
+                    self.history.append(event)
+
+            self.clock.call_at(event.crash_time, fire, label=f"crash:{node.name}")
             if event.recover_time is not None:
                 self.clock.call_at(event.recover_time, node.recover, label=f"recover:{node.name}")
-            self.history.append(event)
 
 
 class RandomCrasher:

@@ -15,8 +15,17 @@ Coordinates workflow instances with the paper's system-level guarantees:
   tasks are re-dispatched.
 * **At-least-once dispatch, exactly-once application.**  Tasks are dispatched
   to worker nodes through deferred ORB invocations (which ride the lossy
-  network); a periodic sweeper re-dispatches anything unanswered, rotating
-  workers; duplicate replies are deduplicated against the journal.
+  network); a periodic sweeper re-dispatches anything unanswered; duplicate
+  replies are deduplicated against the journal.
+* **Adaptive dispatch resilience** (:mod:`repro.resilience`): each flight
+  carries its own next-attempt deadline from a jittered exponential-backoff
+  :class:`~repro.resilience.RetryPolicy`; routing is health-aware (EWMA
+  latency, in-flight counts, per-worker circuit breakers) instead of blind
+  rotation; slow flights are optionally *hedged* — duplicated to a second
+  worker, safe because the journal applies exactly one reply; a flight past
+  its redispatch cap is abandoned into an ordinary system failure.  Passing
+  ``ResilienceConfig.disabled()`` restores the legacy fixed-interval
+  dispatcher exactly.
 * **Automatic retries** of tasks that fail for system-level reasons, with the
   retry budget from the task's ``retries`` implementation property (§3).
 
@@ -27,6 +36,7 @@ experiment E14: without transactional propagation, crashes lose instances.
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
@@ -38,6 +48,7 @@ from ..engine.instance import InstanceTree, TaskNode
 from ..lang import compile_script
 from ..net.node import Message, Service
 from ..orb.broker import CommFailure, Interface, ObjectBroker
+from ..resilience import HealthRegistry, ResilienceConfig, ResilienceLog
 from ..txn.manager import TransactionManager
 from ..txn.store import ObjectStore
 from .serialization import (
@@ -66,6 +77,7 @@ EXECUTION_INTERFACE = Interface(
         "compact",
         "export_instance",
         "import_instance",
+        "resilience_report",
     ),
 )
 
@@ -76,6 +88,13 @@ class _InFlight:
     dispatched_at: float
     redispatches: int = 0
     sent: bool = False
+    # resilience bookkeeping: when this flight becomes overdue (per-flight
+    # backoff deadline), when an un-answered flight earns a hedge, whether a
+    # hedge has been sent, and per-worker send times of the current wave
+    next_attempt_at: float = math.inf
+    hedge_at: Optional[float] = None
+    hedged: bool = False
+    sent_to: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -90,6 +109,9 @@ class _Runtime:
     volatile_journal: List[Dict[str, Any]] = field(default_factory=list)
     armed_deadlines: Set[Tuple[str, int]] = field(default_factory=set)
     external: Set[Tuple[str, int]] = field(default_factory=set)  # parked tasks
+    # journaled absolute deadline expiries, so recovery resumes a task's
+    # *remaining* deadline instead of granting a fresh full one
+    deadline_expiries: Dict[Tuple[str, int], float] = field(default_factory=dict)
     # Monotonic execution numbering per task path.  machine.starts is NOT
     # unique across compound repeat rounds (children are rebuilt fresh), so
     # journal keys use this counter; replay reproduces it deterministically.
@@ -110,6 +132,7 @@ class ExecutionService(Service):
         durable: bool = True,
         dispatch_timeout: float = 30.0,
         sweep_interval: float = 10.0,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         super().__init__(name)
         self.store = store
@@ -119,9 +142,29 @@ class ExecutionService(Service):
         self.durable = durable
         self.dispatch_timeout = dispatch_timeout
         self.sweep_interval = sweep_interval
+        self.resilience = resilience or ResilienceConfig.for_timeouts(
+            dispatch_timeout, sweep_interval
+        )
         self.manager = TransactionManager(f"{name}-tm")
         self.runtimes: Dict[str, _Runtime] = {}
-        self.stats = {"dispatches": 0, "redispatches": 0, "duplicate_replies": 0, "recoveries": 0}
+        self.stats = {
+            "dispatches": 0,
+            "redispatches": 0,
+            "duplicate_replies": 0,
+            "recoveries": 0,
+            "hedges": 0,
+            "breaker_trips": 0,
+            "abandoned": 0,
+            "failovers": 0,
+            "staggered": 0,
+        }
+        self.rlog = ResilienceLog(self.resilience.event_limit)
+        self.health = HealthRegistry(
+            self.worker_names, self.resilience, log=self.rlog, stats=self.stats
+        )
+        # hedge losers: sends still awaiting a (late) reply after their
+        # flight resolved, kept so the reply credits the worker's health
+        self._pending_acks: Dict[Tuple[str, str, int, str], float] = {}
 
     # -- life-cycle -------------------------------------------------------------------
 
@@ -130,16 +173,18 @@ class ExecutionService(Service):
 
     def on_recover(self) -> None:
         """Rebuild every instance from its durable journal (the crux of the
-        paper's fault-tolerance story)."""
+        paper's fault-tolerance story).  The health registry is volatile by
+        design: the recovered coordinator relearns the fleet."""
         self.stats["recoveries"] += 1
         self.runtimes = {}
+        self.health.reset()
+        self._pending_acks.clear()
         if self.durable:
             for iid in self.store.get_committed("instance-index", []):
                 runtime = self._replay(iid)
                 if runtime is not None:
                     self.runtimes[iid] = runtime
-                    for key, flight in list(runtime.in_flight.items()):
-                        self._send(runtime, key, flight)
+                    self._resume_flights(runtime)
                     self._arm_deadlines(runtime)
         self._arm_sweeper()
 
@@ -278,10 +323,25 @@ class ExecutionService(Service):
         return rows
 
     def trace(self, iid: str) -> str:
-        """Human-readable chronological trace (the Fig. 4 monitoring view)."""
+        """Human-readable chronological trace (the Fig. 4 monitoring view),
+        followed by the dispatch layer's resilience decisions for the
+        instance (redispatches, hedges, breaker transitions, failovers)."""
         from ..engine.trace import render_trace
 
-        return render_trace(self._runtime(iid).tree.log)
+        return render_trace(
+            self._runtime(iid).tree.log,
+            resilience=self.rlog.for_instance(iid),
+        )
+
+    def resilience_report(self) -> Dict[str, Any]:
+        """Operator view of the dispatch layer: cumulative stats, per-worker
+        health (breaker state, EWMA latency, streaks) and event counts."""
+        now = self._now()
+        return {
+            "stats": dict(self.stats),
+            "workers": self.health.snapshot(now),
+            "events": self.rlog.summary(),
+        }
 
     def export_instance(self, iid: str) -> Dict[str, Any]:
         """Portable snapshot of an instance: its meta + full journal.
@@ -331,8 +391,7 @@ class ExecutionService(Service):
             runtime = self._replay_from(iid, meta, journal)
             runtime.volatile_journal = journal
         self.runtimes[iid] = runtime
-        for key, flight in list(runtime.in_flight.items()):
-            self._send(runtime, key, flight)
+        self._resume_flights(runtime)
         self._arm_deadlines(runtime)
         return iid
 
@@ -433,9 +492,11 @@ class ExecutionService(Service):
         """Fig. 3's abort-from-WAIT by timer: a task whose ``deadline``
         implementation property expires while it still waits for inputs is
         force-aborted into its first abort outcome.  The abort is journaled,
-        so recovery replays it; timers themselves are volatile and re-armed
-        (with a fresh full deadline — a documented simplification) after a
-        crash."""
+        so recovery replays it.  Timers themselves are volatile, but the
+        *absolute expiry* is journaled the first time a deadline is armed,
+        so a recovered task resumes with its remaining deadline (and a
+        deadline that lapsed during the outage fires immediately) instead of
+        being granted a fresh full one."""
         if self.node is None or not self.node.alive:
             return
         from ..core.schema import OutputKind
@@ -456,6 +517,20 @@ class ExecutionService(Service):
                 delay = float(raw)
             except ValueError:
                 continue
+            expires_at = runtime.deadline_expiries.get(key)
+            if expires_at is None:
+                expires_at = self._now() + delay
+                runtime.deadline_expiries[key] = expires_at
+                self._journal(
+                    runtime,
+                    {
+                        "type": "deadline",
+                        "path": node.path,
+                        "exec": key[1],
+                        "expires_at": expires_at,
+                    },
+                )
+            delay = max(0.0, expires_at - self._now())
             runtime.armed_deadlines.add(key)
 
             def fire(
@@ -485,26 +560,55 @@ class ExecutionService(Service):
 
             self.node.call_after(delay, fire, label=f"deadline:{node.path}")
 
-    def _send(self, runtime: _Runtime, key: Tuple[str, int], flight: _InFlight) -> None:
+    def _send(
+        self,
+        runtime: _Runtime,
+        key: Tuple[str, int],
+        flight: _InFlight,
+        hedge: bool = False,
+    ) -> None:
         if flight.request.get("code") == "system.timer":
             self._arm_timer_task(runtime, key, flight)
             return
         if not self.worker_names:
             raise ExecutionError("no workers configured")
-        import zlib
-
-        # The `location` implementation property pins a task to a worker
-        # (§4.3's placement keywords); after the first re-dispatch the pin is
-        # abandoned so a dead pinned worker cannot stall the workflow.
-        pinned = flight.request.get("properties", {}).get("location")
-        if pinned in self.worker_names and flight.redispatches == 0:
-            worker = pinned
+        now = self._now()
+        cfg = self.resilience
+        if not cfg.enabled:
+            worker = self._route_legacy(runtime, key, flight)
+            flight.dispatched_at = now
+            flight.sent = True
+            flight.next_attempt_at = now + self.dispatch_timeout
         else:
-            stable = zlib.crc32(f"{runtime.iid}:{key[0]}:{key[1]}".encode())
-            index = (stable + flight.redispatches) % len(self.worker_names)
-            worker = self.worker_names[index]
-        flight.dispatched_at = self._now()
-        flight.sent = True
+            worker = self._route(runtime, key, flight, hedge, now)
+            if worker is None:
+                return  # hedge with no distinct worker available: skip
+            if hedge:
+                flight.hedged = True
+                self.stats["hedges"] += 1
+                self.rlog.record(now, "hedge", runtime.iid, key[0], worker)
+            else:
+                keymat = f"{runtime.iid}:{key[0]}:{key[1]}"
+                flight.dispatched_at = now
+                flight.sent = True
+                flight.next_attempt_at = cfg.policy.next_attempt_at(
+                    keymat, flight.redispatches, now
+                )
+                flight.hedge_at = (
+                    now + cfg.hedge_delay
+                    if cfg.hedge_delay is not None and not flight.hedged
+                    else None
+                )
+                self.rlog.record(
+                    now,
+                    "redispatch" if flight.redispatches else "dispatch",
+                    runtime.iid,
+                    key[0],
+                    worker,
+                    detail=f"attempt {flight.redispatches + 1}",
+                )
+            self.health.on_dispatch(worker, now)
+            flight.sent_to[worker] = now
         self.stats["dispatches"] += 1
         try:
             self.broker.invoke_deferred(
@@ -516,6 +620,54 @@ class ExecutionService(Service):
             )
         except CommFailure:
             pass  # sweeper retries
+
+    def _route_legacy(
+        self, runtime: _Runtime, key: Tuple[str, int], flight: _InFlight
+    ) -> str:
+        """The original dispatcher: pin first, then blind crc32 rotation."""
+        import zlib
+
+        pinned = flight.request.get("properties", {}).get("location")
+        if pinned in self.worker_names and flight.redispatches == 0:
+            return pinned
+        stable = zlib.crc32(f"{runtime.iid}:{key[0]}:{key[1]}".encode())
+        return self.worker_names[(stable + flight.redispatches) % len(self.worker_names)]
+
+    def _route(
+        self,
+        runtime: _Runtime,
+        key: Tuple[str, int],
+        flight: _InFlight,
+        hedge: bool,
+        now: float,
+    ) -> Optional[str]:
+        """Health-aware worker choice.
+
+        The `location` implementation property pins the *first* attempt
+        (§4.3's placement keywords) — unless the pinned worker's breaker is
+        open, in which case the pin fails over immediately to the healthiest
+        alternative (recorded as a ``failover`` event) rather than burning a
+        whole timeout on a known-bad worker.  Redispatches abandon the pin
+        entirely, as before.  Hedges exclude workers already carrying this
+        flight's current wave.
+        """
+        pinned = flight.request.get("properties", {}).get("location")
+        if not hedge and pinned in self.worker_names and flight.redispatches == 0:
+            if self.health.allows(pinned, now):
+                return pinned
+            alternative = self.health.route(now, exclude={pinned})
+            self.stats["failovers"] += 1
+            self.rlog.record(
+                now,
+                "failover",
+                runtime.iid,
+                key[0],
+                alternative or pinned,
+                detail=f"pin {pinned} breaker open",
+            )
+            return alternative or pinned
+        exclude = set(flight.sent_to) if hedge else ()
+        return self.health.route(now, exclude=exclude)
 
     def _arm_timer_task(self, runtime: _Runtime, key: Tuple[str, int], flight: _InFlight) -> None:
         """Built-in timer tasks (§4.2: "a set for an exceptional input such
@@ -535,6 +687,12 @@ class ExecutionService(Service):
             delay = 0.0
         # keep the sweeper quiet until the timer is genuinely overdue
         flight.dispatched_at = self._now() + delay
+        flight.next_attempt_at = (
+            flight.dispatched_at
+            + (self.resilience.policy.base_delay
+               if self.resilience.enabled else self.dispatch_timeout)
+        )
+        flight.hedge_at = None  # timer tasks never go to a worker: no hedging
         taskclass = taskclass_from_plain(flight.request["taskclass"])
         outcomes = [o for o in taskclass.outputs if o.kind.name == "OUTCOME"]
         if not outcomes:
@@ -573,15 +731,78 @@ class ExecutionService(Service):
 
         def sweep() -> None:
             now = self._now()
-            for runtime in self.runtimes.values():
+            cfg = self.resilience
+            for runtime in list(self.runtimes.values()):
                 for key, flight in list(runtime.in_flight.items()):
-                    if now - flight.dispatched_at >= self.dispatch_timeout:
+                    if key not in runtime.in_flight or not flight.sent:
+                        continue
+                    if (
+                        cfg.enabled
+                        and not flight.hedged
+                        and flight.hedge_at is not None
+                        and flight.hedge_at <= now < flight.next_attempt_at
+                    ):
+                        pinned = flight.request.get("properties", {}).get("location")
+                        if pinned in self.worker_names and flight.redispatches == 0:
+                            flight.hedge_at = None  # honour the pin: no hedge
+                        else:
+                            self._send(runtime, key, flight, hedge=True)
+                    if key not in runtime.in_flight:
+                        continue
+                    if now >= flight.next_attempt_at:
+                        if cfg.enabled:
+                            for worker in list(flight.sent_to):
+                                self.health.on_timeout(worker, now)
+                                self.rlog.record(
+                                    now, "timeout", runtime.iid, key[0], worker
+                                )
+                            flight.sent_to.clear()
+                            if cfg.policy.exhausted(flight.redispatches) and (
+                                flight.request.get("code") != "system.timer"
+                            ):
+                                self._abandon(runtime, key, flight, now)
+                                continue
                         flight.redispatches += 1
                         self.stats["redispatches"] += 1
                         self._send(runtime, key, flight)
+            if cfg.enabled and self._pending_acks:
+                # hedge losers that never replied: count the timeout so a
+                # dead hedge target still trips its breaker
+                horizon = cfg.policy.base_delay
+                for ack_key, sent_at in list(self._pending_acks.items()):
+                    if now - sent_at >= horizon:
+                        del self._pending_acks[ack_key]
+                        self.health.on_timeout(ack_key[3], now)
             self._arm_sweeper()
 
         self.node.call_after(self.sweep_interval, sweep, label=f"{self.name}-sweep")
+
+    def _abandon(
+        self, runtime: _Runtime, key: Tuple[str, int], flight: _InFlight, now: float
+    ) -> None:
+        """The redispatch cap is spent: stop retransmitting and surface a
+        system failure for the task.  From here the paper's §3 semantics take
+        over — automatic retries per the task's ``retries`` property, then
+        its first declared abort outcome — so the workflow still terminates
+        decisively instead of retrying forever."""
+        self.stats["abandoned"] += 1
+        self.rlog.record(
+            now,
+            "abandon",
+            runtime.iid,
+            key[0],
+            detail=f"redispatch cap ({flight.redispatches}) spent",
+        )
+        entry = {
+            "type": "failure",
+            "path": key[0],
+            "exec": key[1],
+            "error": f"dispatch abandoned after {flight.redispatches} redispatches",
+        }
+        self._journal(runtime, entry)
+        runtime.in_flight.pop(key, None)
+        self._apply_entry(runtime, entry)
+        self._dispatch_pending(runtime)
 
     # -- replies and marks ----------------------------------------------------------------------
 
@@ -615,6 +836,7 @@ class ExecutionService(Service):
         path = reply["task_path"]
         exec_index = reply["execution_index"]
         flight_key = (path, exec_index)
+        self._credit_reply(runtime, flight_key, reply)
         journal_key = ("result", path, exec_index)
         if journal_key in runtime.journal_keys:
             self.stats["duplicate_replies"] += 1
@@ -641,7 +863,7 @@ class ExecutionService(Service):
                 return
             entry = {"type": "external", "path": path, "exec": exec_index}
             self._journal(runtime, entry)
-            runtime.in_flight.pop(flight_key, None)
+            self._resolve_flight(runtime, flight_key)
             runtime.external.add((path, exec_index))
             return
         if reply.get("ok"):
@@ -659,9 +881,46 @@ class ExecutionService(Service):
                 "error": reply.get("error", "unknown"),
             }
         self._journal(runtime, entry)
-        runtime.in_flight.pop(flight_key, None)
+        self._resolve_flight(runtime, flight_key)
         self._apply_entry(runtime, entry)
         self._dispatch_pending(runtime)
+
+    def _credit_reply(
+        self, runtime: _Runtime, flight_key: Tuple[str, int], reply: Dict[str, Any]
+    ) -> None:
+        """Health accounting for any reply, duplicates included: the worker
+        demonstrably served the request, so credit its latency and close its
+        breaker — even when the journal then discards the reply as a
+        duplicate (e.g. a hedge that lost the race)."""
+        if not self.resilience.enabled:
+            return
+        worker = reply.get("worker")
+        if not worker:
+            return  # timer-task self-replies carry no worker
+        now = self._now()
+        flight = runtime.in_flight.get(flight_key)
+        sent_at = flight.sent_to.pop(worker, None) if flight is not None else None
+        if sent_at is None:
+            sent_at = self._pending_acks.pop(
+                (runtime.iid, flight_key[0], flight_key[1], worker), None
+            )
+        if sent_at is not None:
+            self.health.on_reply(worker, now - sent_at, now)
+
+    def _resolve_flight(
+        self, runtime: _Runtime, flight_key: Tuple[str, int]
+    ) -> Optional[_InFlight]:
+        """Retire a flight; any other workers still carrying its current
+        wave (hedge losers) are parked in ``_pending_acks`` so their late
+        replies still feed the health registry."""
+        flight = runtime.in_flight.pop(flight_key, None)
+        if flight is not None and self.resilience.enabled:
+            for worker, sent_at in flight.sent_to.items():
+                self._pending_acks[
+                    (runtime.iid, flight_key[0], flight_key[1], worker)
+                ] = sent_at
+            flight.sent_to.clear()
+        return flight
 
     # -- journal ----------------------------------------------------------------------------------
 
@@ -687,6 +946,8 @@ class ExecutionService(Service):
             return ("mark", entry["path"], entry["exec"], entry["name"])
         if entry["type"] in ("result", "failure"):
             return ("result", entry["path"], entry["exec"])
+        if entry["type"] == "deadline":
+            return ("deadline", entry["path"], entry["exec"])
         return (entry["type"], id(entry))
 
     def _apply_mark(self, runtime: _Runtime, entry: Dict[str, Any]) -> None:
@@ -702,6 +963,13 @@ class ExecutionService(Service):
         kind = entry["type"]
         if kind == "mark":
             self._apply_mark(runtime, entry)
+            return
+        if kind == "deadline":
+            # inert for the tree: remembers the absolute expiry so recovery
+            # re-arms the timer with the *remaining* deadline
+            runtime.deadline_expiries[(entry["path"], entry["exec"])] = entry[
+                "expires_at"
+            ]
             return
         if kind == "reconfig":
             new_script = compile_script(entry["script_text"])
@@ -759,11 +1027,56 @@ class ExecutionService(Service):
                 runtime.external.add((entry["path"], entry["exec"]))
             self._apply_entry(runtime, entry)
             self._drain(runtime)
-        # anything still in flight was unanswered at crash time: re-dispatch
+        # anything still in flight was unanswered at crash time: it will be
+        # re-dispatched (staggered, see _resume_flights) with the pin already
+        # abandoned — the original target may be what crashed
         for flight in runtime.in_flight.values():
-            flight.dispatched_at = self._now() - self.dispatch_timeout
             flight.redispatches += 1
         return runtime
+
+    def _resume_flights(self, runtime: _Runtime) -> None:
+        """Re-send every flight that survived a recovery replay.
+
+        The naive version re-sent the whole herd in one burst (each flight
+        was marked a full ``dispatch_timeout`` overdue, so they also all
+        *re*-dispatched on the same later sweep tick).  With resilience
+        enabled, each flight instead gets a deterministic jittered offset
+        inside ``policy.recovery_stagger``, spreading the post-recovery load
+        over the window; the jitter key includes the recovery count so
+        successive recoveries stagger differently.
+        """
+        cfg = self.resilience
+        epoch = self.stats["recoveries"]
+        for key, flight in sorted(runtime.in_flight.items(), key=lambda kv: kv[0]):
+            if (
+                not cfg.enabled
+                or cfg.policy.recovery_stagger <= 0
+                or flight.request.get("code") == "system.timer"
+            ):
+                self._send(runtime, key, flight)
+                continue
+            delay = cfg.policy.stagger(f"{runtime.iid}:{key[0]}:{key[1]}:{epoch}")
+            if delay <= 0.0:
+                self._send(runtime, key, flight)
+                continue
+            flight.sent = True  # reserve: _dispatch_pending must not double-send
+            self.stats["staggered"] += 1
+            self.rlog.record(
+                self._now(),
+                "stagger",
+                runtime.iid,
+                key[0],
+                detail=f"resend +{delay:.2f}",
+            )
+
+            def fire(runtime=runtime, key=key) -> None:
+                if self.runtimes.get(runtime.iid) is not runtime:
+                    return  # superseded by another recovery replay
+                flight = runtime.in_flight.get(key)
+                if flight is not None:
+                    self._send(runtime, key, flight)
+
+            self.node.call_after(delay, fire, label=f"stagger:{key[0]}")
 
     # -- helpers --------------------------------------------------------------------------------------
 

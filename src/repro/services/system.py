@@ -19,6 +19,7 @@ from ..net.network import LatencyModel, Network
 from ..net.node import Node
 from ..orb.broker import ObjectBroker
 from ..orb.proxy import Proxy
+from ..resilience import ResilienceConfig
 from ..txn.store import ObjectStore
 from .execution import EXECUTION_INTERFACE, ExecutionService
 from .repository import REPOSITORY_INTERFACE, RepositoryService
@@ -44,7 +45,13 @@ class WorkflowSystem:
         dispatch_timeout: float = 30.0,
         sweep_interval: float = 10.0,
         registry: Optional[ImplementationRegistry] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
+        """``resilience`` tunes the adaptive dispatch layer (backoff, circuit
+        breakers, health routing, hedging).  Defaults to
+        ``ResilienceConfig.for_timeouts(dispatch_timeout, sweep_interval,
+        seed=seed)``; pass ``ResilienceConfig.disabled()`` for the legacy
+        fixed-interval dispatcher."""
         self.clock = EventClock()
         self.network = Network(
             self.clock, latency or LatencyModel(1.0, 0.5), loss_rate, seed
@@ -84,6 +91,10 @@ class WorkflowSystem:
             durable=durable,
             dispatch_timeout=dispatch_timeout,
             sweep_interval=sweep_interval,
+            resilience=resilience
+            or ResilienceConfig.for_timeouts(
+                dispatch_timeout, sweep_interval, seed=seed
+            ),
         )
         self.execution_node.install(self.execution)
         self.broker.register(

@@ -114,6 +114,9 @@ class TaskWorker(Service):
             "instance_id": request.instance_id,
             "task_path": request.task_path,
             "execution_index": request.execution_index,
+            # which worker served the request: the execution service's
+            # health registry attributes latency/liveness observations to it
+            "worker": self.name,
         }
         try:
             binding = self.registry.resolve(request.code)

@@ -111,6 +111,50 @@ class TestDeadlines:
         system.execution_node.recover()
         assert system.execution.status(iid)["outcome"] == "expired"
 
+    def test_recovered_deadline_resumes_with_remaining_time(self):
+        """A coordinator crash mid-deadline must not grant the task a fresh
+        full deadline: the absolute expiry is journaled when the timer is
+        first armed, so recovery re-arms only the *remaining* time."""
+        b = ScriptBuilder()
+        b.object_class("Data")
+        b.taskclass("Maybe").input_set("main").outcome("yes", out="Data").outcome("no")
+        b.taskclass("Gather").input_set("main", inp="Data").outcome(
+            "gathered", out="Data"
+        ).abort_outcome("timedOut")
+        b.taskclass("Root").input_set("main").outcome("done", out="Data").outcome(
+            "expired"
+        )
+        c = b.compound("wf", "Root")
+        c.task("maybe", "Maybe").implementation(code="maybe").notify(
+            "main", from_input("wf", "main")
+        ).up()
+        c.task("gather", "Gather").implementation(code="gather", deadline="60").input(
+            "main", "inp", from_output("maybe", "yes", "out")
+        ).up()
+        c.output("done").object("out", from_output("gather", "gathered", "out")).up()
+        c.output("expired").notify(from_output("gather", "timedOut")).up()
+        c.up()
+        script = b.build()
+
+        system = WorkflowSystem(workers=1)
+        system.registry.register("maybe", lambda ctx: outcome("no"))  # gather starves
+        system.registry.register("gather", lambda ctx: outcome("gathered", out="y"))
+        system.deploy("dl", format_script(script))
+        iid = system.instantiate("dl", "wf", {})
+        system.clock.advance(30.0)  # deadline armed near t=0, half used up
+        # gather starves on its input: the instance idles, deadline pending
+        assert system.execution.status(iid)["status"] in ("running", "stalled")
+        system.execution_node.crash()
+        system.clock.advance(20.0)  # down from t=30 to t=50
+        system.execution_node.recover()
+        # original expiry is ~t=60-66.  A buggy re-arm would start a fresh
+        # 60-unit deadline at recovery (expiring ~t=110), so by t=80 only the
+        # remaining-time behaviour has fired the abort.
+        system.clock.advance(30.0)
+        result = system.execution.status(iid)
+        assert result["status"] == "completed"
+        assert result["outcome"] == "expired"
+
 
 class TestWorkerPinning:
     def pinned_script(self, location):

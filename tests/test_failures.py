@@ -44,7 +44,33 @@ class TestFaultPlan:
         plan = FaultPlan(clock).crash_at(node, when=1.0, down_for=1.0)
         plan.arm()
         plan.arm()
+        clock.run(until=5.0)
         assert len(plan.history) == 1
+
+    def test_history_records_only_executed_crashes(self):
+        # regression: history used to be filled at arm() time, before any
+        # crash had actually fired
+        clock, net = world()
+        node = Node("a", clock, net)
+        plan = FaultPlan(clock).crash_at(node, when=5.0, down_for=1.0)
+        plan.arm()
+        assert plan.history == []
+        clock.run(until=4.0)
+        assert plan.history == []
+        clock.run(until=5.5)
+        assert len(plan.history) == 1
+        assert plan.history[0].node == "a"
+
+    def test_crash_of_already_dead_node_leaves_no_history(self):
+        clock, net = world()
+        node = Node("a", clock, net)
+        plan = FaultPlan(clock)
+        plan.crash_at(node, when=1.0)           # permanent
+        plan.crash_at(node, when=2.0, down_for=1.0)  # strikes a dead node
+        plan.arm()
+        clock.run(until=10.0)
+        assert len(plan.history) == 1
+        assert plan.history[0].crash_time == 1.0
 
     def test_multiple_nodes(self):
         clock, net = world()

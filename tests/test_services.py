@@ -136,7 +136,11 @@ class TestFaultTolerance:
         ).arm()
         result = system.run_until_terminal(iid, max_time=10_000)
         assert result["status"] == "completed"
-        assert system.execution.stats["redispatches"] >= 1
+        # the adaptive dispatcher moves work off a dead worker via a hedge,
+        # a failover or a timed-out redispatch, depending on timing
+        stats = system.execution.stats
+        moved = stats["redispatches"] + stats["hedges"] + stats["failovers"]
+        assert moved >= 1
 
     def test_message_loss_tolerated(self):
         system = order_system(workers=2, loss_rate=0.25, seed=11,
