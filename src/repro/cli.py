@@ -263,6 +263,57 @@ def _demo_distributed(args, module, inputs, registry) -> int:
     return 0 if result["status"] == "completed" else 1
 
 
+def cmd_chaos_sweep(args: argparse.Namespace) -> int:
+    from .sim.crashpoints import catalogue
+    from .sim.explorer import ChaosSweep, replay
+
+    if args.list_points:
+        print(f"{'crash point':<30} {'file':<30} protocol step")
+        for point in catalogue():
+            flags = []
+            if point.torn:
+                flags.append("torn")
+            if point.recovery:
+                flags.append("recovery")
+            suffix = f"  [{','.join(flags)}]" if flags else ""
+            print(f"{point.name:<30} {point.module:<30} {point.step}{suffix}")
+        return 0
+
+    if args.replay:
+        reproduced, recorded, fresh, report = replay(args.replay)
+        print(report.summary())
+        for violation in report.violations:
+            print(f"  {violation['oracle']}({violation['subject']}): "
+                  f"{violation['detail']}")
+        print(f"recorded fingerprint: {recorded}")
+        print(f"replayed fingerprint: {fresh}")
+        if reproduced:
+            print("REPRODUCED byte-for-byte")
+            return 0
+        print("MISMATCH: the replay diverged from the recorded run")
+        return 1
+
+    sweep = ChaosSweep(
+        workload=args.workload,
+        workers=args.workers,
+        instances=args.instances,
+        base_seed=args.seed,
+        max_time=args.max_time,
+        out_dir=args.out,
+        verbose=args.verbose,
+    )
+    failures = 0
+    if args.mode in ("all", "exhaustive"):
+        result = sweep.exhaustive()
+        print("exhaustive one-crash sweep:", result.summary())
+        failures += len(result.failures) + len(result.unreached)
+    if args.mode in ("all", "random"):
+        result = sweep.random_sweep(args.seeds)
+        print(f"random nemesis sweep ({args.seeds} seeds):", result.summary())
+        failures += len(result.failures)
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="workflow scripting language tools"
@@ -386,6 +437,55 @@ def build_parser() -> argparse.ArgumentParser:
         "failure (default: 40)",
     )
     demo.set_defaults(fn=cmd_demo)
+
+    chaos = commands.add_parser(
+        "chaos-sweep",
+        help="deterministic simulation sweep: crash every protocol step, "
+        "then random nemesis schedules; record + shrink violations "
+        "(exit 1 if any oracle fires or a crash point goes unreached)",
+    )
+    chaos.add_argument(
+        "--mode", choices=["all", "exhaustive", "random"], default="all",
+        help="which passes to run (default: all)",
+    )
+    chaos.add_argument(
+        "--workload", choices=["order", "trip"], default="order",
+        help="paper application to run under chaos (default: order)",
+    )
+    chaos.add_argument("--workers", type=int, default=2, metavar="N")
+    chaos.add_argument(
+        "--instances", type=int, default=1, metavar="N",
+        help="concurrent workflow instances per run (default: 1)",
+    )
+    chaos.add_argument(
+        "--seeds", type=int, default=64, metavar="N",
+        help="random-sweep seed count (default: 64)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed for both passes (default: 0)",
+    )
+    chaos.add_argument(
+        "--max-time", type=float, default=5_000.0, metavar="T",
+        help="virtual-time budget per run before an instance counts as "
+        "stuck (default: 5000)",
+    )
+    chaos.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="directory for shrunk repro JSON files (written only on "
+        "violation)",
+    )
+    chaos.add_argument(
+        "--replay", default=None, metavar="FILE",
+        help="re-run a recorded repro file and verify the report matches "
+        "the recorded fingerprint byte-for-byte",
+    )
+    chaos.add_argument(
+        "--list-points", action="store_true",
+        help="print the crash-point catalogue and exit",
+    )
+    chaos.add_argument("--verbose", action="store_true")
+    chaos.set_defaults(fn=cmd_chaos_sweep)
 
     return parser
 

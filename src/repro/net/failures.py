@@ -9,9 +9,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from .clock import EventClock
+from .network import Network
 from .node import Node
 
 
@@ -22,6 +23,16 @@ class CrashEvent:
     node: str
     crash_time: float
     recover_time: Optional[float]
+
+
+@dataclass
+class NetworkEvent:
+    """Record of one injected network fault episode (for reporting)."""
+
+    kind: str          # "partition" | "loss" | "dup" | "reorder"
+    start: float
+    end: Optional[float]
+    detail: str = ""
 
 
 class FaultPlan:
@@ -40,6 +51,8 @@ class FaultPlan:
         self._pending: List[CrashEvent] = []
         self._nodes: Dict[str, Node] = {}
         self.history: List[CrashEvent] = []
+        self.network_history: List[NetworkEvent] = []
+        self._network_actions: List = []  # zero-arg closures run at arm()
         self._armed = False
 
     def crash_at(self, node: Node, when: float, down_for: Optional[float] = None) -> "FaultPlan":
@@ -50,13 +63,100 @@ class FaultPlan:
         self._nodes[node.name] = node
         return self
 
+    # -- network faults ------------------------------------------------------
+
+    def partition_at(
+        self,
+        network: Network,
+        when: float,
+        group_a: Set[str],
+        group_b: Set[str],
+        heal_after: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Partition ``group_a`` from ``group_b`` at ``when``; heal that cut
+        ``heal_after`` later (never, if None)."""
+        heal_at = None if heal_after is None else when + heal_after
+        group_a, group_b = set(group_a), set(group_b)
+
+        def start() -> None:
+            network.partition(group_a, group_b)
+            self.network_history.append(
+                NetworkEvent(
+                    "partition", when, heal_at,
+                    f"{sorted(group_a)} x {sorted(group_b)}",
+                )
+            )
+            if heal_at is not None:
+                self.clock.call_at(
+                    heal_at,
+                    lambda: network.heal(group_a, group_b),
+                    label="nemesis:heal",
+                )
+
+        self._network_actions.append(
+            lambda: self.clock.call_at(when, start, label="nemesis:partition")
+        )
+        return self
+
+    def _burst(
+        self,
+        network: Network,
+        kind: str,
+        attr: str,
+        when: float,
+        duration: float,
+        value: float,
+    ) -> "FaultPlan":
+        """Raise a network knob to ``value`` for ``duration``, then restore
+        the value it had when the burst began (bursts may nest; last restore
+        wins, which is fine for the disjoint bursts schedules generate)."""
+
+        def start() -> None:
+            previous = getattr(network, attr)
+            setattr(network, attr, value)
+            self.network_history.append(
+                NetworkEvent(kind, when, when + duration, f"{attr}={value}")
+            )
+            self.clock.call_at(
+                when + duration,
+                lambda: setattr(network, attr, previous),
+                label=f"nemesis:{kind}-end",
+            )
+
+        self._network_actions.append(
+            lambda: self.clock.call_at(when, start, label=f"nemesis:{kind}")
+        )
+        return self
+
+    def loss_burst(
+        self, network: Network, when: float, duration: float, rate: float
+    ) -> "FaultPlan":
+        """Drop datagrams with probability ``rate`` during the burst."""
+        return self._burst(network, "loss", "loss_rate", when, duration, rate)
+
+    def dup_burst(
+        self, network: Network, when: float, duration: float, rate: float
+    ) -> "FaultPlan":
+        """Duplicate datagrams with probability ``rate`` during the burst."""
+        return self._burst(network, "dup", "dup_rate", when, duration, rate)
+
+    def reorder_burst(
+        self, network: Network, when: float, duration: float, window: float
+    ) -> "FaultPlan":
+        """Hold roughly half of all datagrams back by up to ``window`` extra
+        time units during the burst, letting later sends overtake them."""
+        return self._burst(
+            network, "reorder", "reorder_window", when, duration, window
+        )
+
     def arm(self) -> None:
         """Schedule every planned event on the clock.  Idempotent.
 
         ``history`` records only *executed* crashes: an event is appended
         when its scheduled callback actually fires and finds the node alive,
         not at arm time — so a plan armed but never run (or a crash of an
-        already-dead node) leaves no trace.
+        already-dead node) leaves no trace.  Network fault episodes are
+        recorded in ``network_history`` when they begin.
         """
         if self._armed:
             return
@@ -72,6 +172,8 @@ class FaultPlan:
             self.clock.call_at(event.crash_time, fire, label=f"crash:{node.name}")
             if event.recover_time is not None:
                 self.clock.call_at(event.recover_time, node.recover, label=f"recover:{node.name}")
+        for schedule_action in self._network_actions:
+            schedule_action()
 
 
 class RandomCrasher:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, FrozenSet, Optional, Set, Tuple
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from .clock import EventClock, SimulationError
 
@@ -52,6 +52,9 @@ class NetworkStats:
     dropped_loss: int = 0
     dropped_partition: int = 0
     dropped_dead: int = 0
+    dropped_stale: int = 0   # addressed to a crashed incarnation
+    duplicated: int = 0      # extra copies injected by dup_rate
+    reordered: int = 0       # held back by reorder_window
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -60,6 +63,9 @@ class NetworkStats:
             "dropped_loss": self.dropped_loss,
             "dropped_partition": self.dropped_partition,
             "dropped_dead": self.dropped_dead,
+            "dropped_stale": self.dropped_stale,
+            "duplicated": self.duplicated,
+            "reordered": self.reordered,
         }
 
 
@@ -79,22 +85,43 @@ class Network:
         latency: Optional[LatencyModel] = None,
         loss_rate: float = 0.0,
         seed: int = 0,
+        dup_rate: float = 0.0,
+        reorder_window: float = 0.0,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise SimulationError(f"loss_rate must be in [0, 1), got {loss_rate!r}")
+        if not 0.0 <= dup_rate < 1.0:
+            raise SimulationError(f"dup_rate must be in [0, 1), got {dup_rate!r}")
+        if reorder_window < 0.0:
+            raise SimulationError(
+                f"reorder_window must be >= 0, got {reorder_window!r}"
+            )
         self.clock = clock
         self.latency = latency or LatencyModel()
         self.loss_rate = loss_rate
+        self.dup_rate = dup_rate
+        self.reorder_window = reorder_window
         self.stats = NetworkStats()
         self._rng = random.Random(seed)
         self._endpoints: Dict[str, Callable[[Message], None]] = {}
+        self._incarnations: Dict[str, int] = {}
         self._partitions: Set[FrozenSet[str]] = set()
 
     # -- endpoint management -------------------------------------------------
 
-    def attach(self, name: str, receiver: Callable[[Message], None]) -> None:
-        """Register ``receiver`` to handle messages addressed to ``name``."""
+    def attach(
+        self, name: str, receiver: Callable[[Message], None], incarnation: int = 0
+    ) -> None:
+        """Register ``receiver`` to handle messages addressed to ``name``.
+
+        ``incarnation`` distinguishes successive lives of the same endpoint
+        (a node passes its ``crash_count``): a datagram is stamped with the
+        destination's incarnation at *send* time, and delivery to any other
+        incarnation is dropped as ``dropped_stale`` — a message sent to a
+        node that then crashed must not leak into its recovered self.
+        """
         self._endpoints[name] = receiver
+        self._incarnations[name] = incarnation
 
     def detach(self, name: str) -> None:
         """Remove an endpoint (e.g. on node crash)."""
@@ -102,6 +129,10 @@ class Network:
 
     def is_attached(self, name: str) -> bool:
         return name in self._endpoints
+
+    def incarnation(self, name: str) -> int:
+        """The endpoint's current incarnation (last attached value)."""
+        return self._incarnations.get(name, 0)
 
     # -- partitions -----------------------------------------------------------
 
@@ -142,21 +173,55 @@ class Network:
 
     # -- sending ----------------------------------------------------------------
 
-    def send(self, source: str, destination: str, payload: Any) -> None:
-        """Send a datagram.  May be silently dropped (loss, partition, dead
-        receiver); delivery order follows sampled latencies."""
-        self.stats.sent += 1
+    def sample_delays(self, source: str, destination: str) -> Optional[List[float]]:
+        """Apply the send-time failure model to one datagram.
+
+        Returns ``None`` if the datagram is dropped at send time (partition
+        or loss, counters updated), otherwise a non-empty list of delivery
+        delays: the first is the message itself, any further entries are
+        duplicate copies injected by ``dup_rate``.  ``reorder_window > 0``
+        holds roughly half the messages back by an extra uniform delay in
+        ``[0, reorder_window)`` (counted as ``reordered``), which lets later
+        sends overtake them.  All sampling uses the network RNG, so runs
+        stay deterministic under a fixed seed.
+
+        Shared by :meth:`send` and the ORB's datagram legs so every message
+        path in the system sees one failure model.
+        """
         if self.partitioned(source, destination):
             self.stats.dropped_partition += 1
-            return
+            return None
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
             self.stats.dropped_loss += 1
+            return None
+        delay = self.latency.sample(self._rng)
+        if self.reorder_window > 0.0 and self._rng.random() < 0.5:
+            delay += self._rng.uniform(0.0, self.reorder_window)
+            self.stats.reordered += 1
+        delays = [delay]
+        if self.dup_rate > 0.0 and self._rng.random() < self.dup_rate:
+            self.stats.duplicated += 1
+            delays.append(self.latency.sample(self._rng))
+        return delays
+
+    def send(self, source: str, destination: str, payload: Any) -> None:
+        """Send a datagram.  May be silently dropped (loss, partition, dead
+        or stale receiver), duplicated, or reordered; delivery order follows
+        sampled latencies."""
+        self.stats.sent += 1
+        delays = self.sample_delays(source, destination)
+        if delays is None:
             return
         message = Message(source, destination, payload, self.clock.now)
-        delay = self.latency.sample(self._rng)
-        self.clock.call_after(delay, lambda: self._deliver(message), label=f"deliver->{destination}")
+        stamp = self._incarnations.get(destination, 0)
+        for delay in delays:
+            self.clock.call_after(
+                delay,
+                lambda: self._deliver(message, stamp),
+                label=f"deliver->{destination}",
+            )
 
-    def _deliver(self, message: Message) -> None:
+    def _deliver(self, message: Message, incarnation: int = 0) -> None:
         # Partition may have formed while the message was in flight.
         if self.partitioned(message.source, message.destination):
             self.stats.dropped_partition += 1
@@ -164,6 +229,11 @@ class Network:
         receiver = self._endpoints.get(message.destination)
         if receiver is None:
             self.stats.dropped_dead += 1
+            return
+        if self._incarnations.get(message.destination, incarnation) != incarnation:
+            # the destination crashed (and recovered) after this datagram was
+            # sent: it belongs to a dead incarnation, not the current one
+            self.stats.dropped_stale += 1
             return
         self.stats.delivered += 1
         receiver(message)

@@ -61,7 +61,7 @@ class Node:
         self.crash_count = 0
         self._services: Dict[str, Service] = {}
         self.stable_store: Dict[str, Any] = {}
-        network.attach(name, self._receive)
+        network.attach(name, self._receive, incarnation=self.crash_count)
 
     # -- service hosting ----------------------------------------------------
 
@@ -130,11 +130,16 @@ class Node:
         self.network.detach(self.name)
 
     def recover(self) -> None:
-        """Restart the node and let each service rebuild from stable storage."""
+        """Restart the node and let each service rebuild from stable storage.
+
+        Re-attaching with the bumped ``crash_count`` gives the endpoint a
+        fresh incarnation: datagrams stamped for the pre-crash incarnation
+        are dropped as stale rather than delivered to the recovered node.
+        """
         if self.alive:
             return
         self.alive = True
-        self.network.attach(self.name, self._receive)
+        self.network.attach(self.name, self._receive, incarnation=self.crash_count)
         for service in self._services.values():
             service.on_recover()
 

@@ -190,18 +190,21 @@ class ObjectBroker:
     def _datagram(
         self, from_node: Node, to_node: Node, deliver: Callable[[], None], label: str
     ) -> None:
-        """One unreliable message leg with the network's failure model."""
+        """One unreliable message leg with the network's failure model.
+
+        Delegates loss/partition/latency/duplication/reordering decisions to
+        :meth:`Network.sample_delays` so ORB legs and raw datagrams share a
+        single failure model, and stamps the leg with the destination's
+        incarnation: a reply addressed to a coordinator that crashed and
+        recovered in flight is dropped as stale, exactly like a raw datagram.
+        """
         net = self.network
         net.stats.sent += 1
-        if net.partitioned(from_node.name, to_node.name):
-            net.stats.dropped_partition += 1
+        delays = net.sample_delays(from_node.name, to_node.name)
+        if delays is None:
             self.stats.failures += 1
             return
-        if net.loss_rate > 0.0 and net._rng.random() < net.loss_rate:
-            net.stats.dropped_loss += 1
-            self.stats.failures += 1
-            return
-        delay = net.latency.sample(net._rng)
+        stamp = to_node.crash_count
 
         def attempt() -> None:
             if net.partitioned(from_node.name, to_node.name):
@@ -210,7 +213,11 @@ class ObjectBroker:
             if not to_node.alive:
                 net.stats.dropped_dead += 1
                 return
+            if to_node.crash_count != stamp:
+                net.stats.dropped_stale += 1
+                return
             net.stats.delivered += 1
             deliver()
 
-        self.clock.call_after(delay, attempt, label=label)
+        for delay in delays:
+            self.clock.call_after(delay, attempt, label=label)

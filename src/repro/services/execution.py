@@ -49,6 +49,7 @@ from ..lang import compile_script
 from ..net.node import Message, Service
 from ..orb.broker import CommFailure, Interface, ObjectBroker
 from ..resilience import HealthRegistry, ResilienceConfig, ResilienceLog
+from ..sim.crashpoints import crash_point
 from ..txn.manager import TransactionManager
 from ..txn.store import ObjectStore
 from .serialization import (
@@ -176,6 +177,7 @@ class ExecutionService(Service):
         paper's fault-tolerance story).  The health registry is volatile by
         design: the recovered coordinator relearns the fleet."""
         self.stats["recoveries"] += 1
+        crash_point("exec.recover.pre", self)
         self.runtimes = {}
         self.health.reset()
         self._pending_acks.clear()
@@ -186,6 +188,7 @@ class ExecutionService(Service):
                     self.runtimes[iid] = runtime
                     self._resume_flights(runtime)
                     self._arm_deadlines(runtime)
+        crash_point("exec.recover.replayed", self)
         self._arm_sweeper()
 
     # -- ORB operations ---------------------------------------------------------------------
@@ -224,6 +227,7 @@ class ExecutionService(Service):
                 txn.write(self.store, f"instance:{iid}:meta", meta)
 
             self.manager.run(body)
+        crash_point("exec.instantiate.persisted", self)
         runtime = self._fresh_runtime(iid, script, meta)
         self.runtimes[iid] = runtime
         self._dispatch_pending(runtime)
@@ -403,8 +407,10 @@ class ExecutionService(Service):
         ordinary committed objects, so they live inside the checkpoint).
         Returns the number of live log records after compaction.
         """
+        crash_point("exec.compact.pre", self)
         if self.durable:
             self.store.checkpoint()
+        crash_point("exec.compact.post", self)
         return len(self.store.wal)
 
     def complete_task(
@@ -812,6 +818,7 @@ class ExecutionService(Service):
             self._handle_mark(payload)
 
     def _handle_mark(self, payload: Dict[str, Any]) -> None:
+        crash_point("exec.mark.recv", self)
         runtime = self.runtimes.get(payload.get("instance_id", ""))
         if runtime is None:
             return
@@ -830,6 +837,7 @@ class ExecutionService(Service):
         self._dispatch_pending(runtime)
 
     def _handle_reply(self, iid: str, reply: Dict[str, Any]) -> None:
+        crash_point("exec.reply.recv", self)
         runtime = self.runtimes.get(iid)
         if runtime is None:
             return
@@ -883,6 +891,7 @@ class ExecutionService(Service):
         self._journal(runtime, entry)
         self._resolve_flight(runtime, flight_key)
         self._apply_entry(runtime, entry)
+        crash_point("exec.reply.applied", self)
         self._dispatch_pending(runtime)
 
     def _credit_reply(
@@ -929,6 +938,7 @@ class ExecutionService(Service):
         if not self.durable:
             runtime.volatile_journal.append(entry)
             return
+        crash_point("exec.journal.pre", self)
         meta_key = f"instance:{runtime.iid}:meta"
 
         def body(txn) -> None:
@@ -939,6 +949,7 @@ class ExecutionService(Service):
             txn.write(self.store, meta_key, meta)
 
         self.manager.run(body)
+        crash_point("exec.journal.post", self)
 
     @staticmethod
     def _entry_key(entry: Dict[str, Any]) -> Tuple:

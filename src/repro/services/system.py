@@ -46,15 +46,23 @@ class WorkflowSystem:
         sweep_interval: float = 10.0,
         registry: Optional[ImplementationRegistry] = None,
         resilience: Optional[ResilienceConfig] = None,
+        dup_rate: float = 0.0,
+        reorder_window: float = 0.0,
     ) -> None:
         """``resilience`` tunes the adaptive dispatch layer (backoff, circuit
         breakers, health routing, hedging).  Defaults to
         ``ResilienceConfig.for_timeouts(dispatch_timeout, sweep_interval,
         seed=seed)``; pass ``ResilienceConfig.disabled()`` for the legacy
-        fixed-interval dispatcher."""
+        fixed-interval dispatcher.  ``dup_rate``/``reorder_window`` feed the
+        network's duplication and reordering fault model."""
         self.clock = EventClock()
         self.network = Network(
-            self.clock, latency or LatencyModel(1.0, 0.5), loss_rate, seed
+            self.clock,
+            latency or LatencyModel(1.0, 0.5),
+            loss_rate,
+            seed,
+            dup_rate=dup_rate,
+            reorder_window=reorder_window,
         )
         self.broker = ObjectBroker(self.clock, self.network)
         self.registry = registry or ImplementationRegistry()

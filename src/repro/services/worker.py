@@ -23,6 +23,7 @@ from ..engine.context import PendingExternal, TaskContext, TaskResult
 from ..engine.registry import ImplementationRegistry, ScriptBinding
 from ..net.node import Message, Service
 from ..orb.broker import Interface
+from ..sim.crashpoints import crash_point
 from .serialization import (
     refs_from_plain,
     refs_to_plain,
@@ -77,6 +78,7 @@ class TaskWorker(Service):
         "error": str | None}`` plus the request's identity echo.
         """
         request = WorkRequest.from_plain(dict(request_data))
+        crash_point("worker.execute.pre", self)
         self.executed.append(
             (request.instance_id, request.task_path, request.execution_index)
         )
@@ -136,6 +138,10 @@ class TaskWorker(Service):
                 )
         except Exception as exc:
             return {**identity, "ok": False, "error": repr(exc), "marks": marks}
+        # Crash here = the work happened but the reply never left: the
+        # at-least-once redispatch will run the task again on some worker,
+        # and only the journal's exactly-once application protects the tree.
+        crash_point("worker.execute.post", self)
         return {
             **identity,
             "ok": True,

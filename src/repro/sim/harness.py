@@ -1,0 +1,593 @@
+"""Deterministic simulation harness.
+
+A :class:`SimHarness` runs one workload on a fresh
+:class:`~repro.services.system.WorkflowSystem` while a
+:class:`~repro.sim.nemesis.NemesisSchedule` injects faults underneath it —
+crash-at-protocol-step faults through the crash-point injector, time-based
+faults (crashes, partitions, loss/dup/reorder bursts) through the existing
+:class:`~repro.net.failures.FaultPlan` — and the invariant oracles of
+:mod:`repro.sim.oracles` watch the whole run.  The result is a
+:class:`SimReport`: final instance outcomes, every violation, every crash,
+network counters, and a fingerprint over the canonical JSON form so two runs
+of the same (schedule, seed) can be compared byte-for-byte.
+
+Determinism is inherited from the substrate: one
+:class:`~repro.net.clock.EventClock` orders all events, all randomness is
+seeded, and crash points count *visits* rather than sampling times — so the
+same schedule always kills the same node in the same protocol step with the
+same stack above it.
+
+Crash mechanics
+---------------
+
+When a crash fires (at a point or a scheduled time) the harness plays the
+machine's death exactly:
+
+1. for a ``torn`` fault at a WAL force, :meth:`WriteAheadLog.torn_force`
+   first makes every pending record except the last durable — the classic
+   torn write;
+2. every :class:`~repro.txn.store.ObjectStore` on the node crashes — the
+   unforced WAL suffix vanishes, the committed cache is rebuilt from the
+   durable log, the (volatile) lock table resets;
+3. the node itself crashes — network detached, timers dead, incarnation
+   bumped;
+4. recovery is scheduled ``downtime`` later (stores rebuild their caches,
+   the node re-attaches under its new incarnation, services replay their
+   journals) — unless ``downtime`` is None, in which case the machine stays
+   down and the liveness oracle is waived.
+
+The :class:`~repro.sim.crashpoints.SimulatedCrash` that unwinds the Python
+stack is caught at the event-loop boundary in :meth:`SimHarness._advance`
+(and around the synchronous client calls ``deploy``/``instantiate``, which
+run servant code on the caller's stack).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..net.failures import FaultPlan
+from ..net.node import Node
+from ..orb.broker import CommFailure
+from ..services.system import WorkflowSystem
+from ..txn import wal as wal_mod
+from ..txn.manager import TransactionManager
+from ..txn.store import ObjectStore
+from ..txn.wal import WriteAheadLog
+from ..workloads import paper_order, paper_trip
+from . import oracles
+from .crashpoints import (
+    ArmedCrash,
+    CrashPointInjector,
+    SimulatedCrash,
+    install,
+    uninstall,
+)
+from .nemesis import (
+    CrashAtPoint,
+    CrashAtTime,
+    DupBurst,
+    LossBurst,
+    NemesisSchedule,
+    Partition,
+    ReorderBurst,
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A deployable script plus its implementations and per-instance inputs."""
+
+    name: str
+    script_name: str
+    text: str
+    root_task: str
+    binder: Callable[[Any], Any]          # registry -> registry (bind impls)
+    inputs: Callable[[int], Dict[str, Any]]  # instance index -> initial inputs
+
+
+WORKLOADS: Dict[str, Workload] = {
+    "order": Workload(
+        "order", "order", paper_order.SCRIPT_TEXT, paper_order.ROOT_TASK,
+        lambda reg: paper_order.default_registry(registry=reg),
+        lambda i: {"order": f"order-{i + 1}"},
+    ),
+    "trip": Workload(
+        "trip", "trip", paper_trip.SCRIPT_TEXT, paper_trip.ROOT_TASK,
+        lambda reg: paper_trip.default_registry(registry=reg),
+        lambda i: {"user": f"user-{i + 1}"},
+    ),
+}
+
+
+@dataclass
+class SimReport:
+    """Everything one harness run produced, in JSON-serialisable form."""
+
+    workload: str
+    seed: int
+    workers: int
+    schedule: Dict[str, Any]
+    instances: Dict[str, Dict[str, Any]]
+    violations: List[Dict[str, str]] = field(default_factory=list)
+    crashes: List[Dict[str, Any]] = field(default_factory=list)
+    fired: List[List[str]] = field(default_factory=list)   # (point, node) pairs
+    unfired: List[str] = field(default_factory=list)       # armed but never hit
+    points_visited: Dict[str, int] = field(default_factory=dict)
+    network: Dict[str, int] = field(default_factory=dict)
+    end_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_plain(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "seed": self.seed,
+            "workers": self.workers,
+            "schedule": self.schedule,
+            "instances": self.instances,
+            "violations": self.violations,
+            "crashes": self.crashes,
+            "fired": self.fired,
+            "unfired": self.unfired,
+            "points_visited": self.points_visited,
+            "network": self.network,
+            "end_time": self.end_time,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, fixed separators — the byte string
+        the fingerprint (and therefore replay comparison) is defined over."""
+        return json.dumps(self.to_plain(), sort_keys=True, separators=(",", ":"))
+
+    def fingerprint(self) -> str:
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    def summary(self) -> str:
+        outcome = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        statuses = ",".join(
+            f"{iid}={info['status']}" for iid, info in sorted(self.instances.items())
+        )
+        return (
+            f"[{outcome}] workload={self.workload} seed={self.seed} "
+            f"crashes={len(self.crashes)} t={self.end_time:.1f} {statuses}"
+        )
+
+
+class SimHarness:
+    """Run one nemesis schedule against one workload and report."""
+
+    def __init__(
+        self,
+        schedule: Optional[NemesisSchedule] = None,
+        workload: str = "order",
+        seed: int = 0,
+        workers: int = 2,
+        instances: int = 1,
+        max_time: float = 5_000.0,
+        quiesce_grace: float = 600.0,
+        check_every: float = 25.0,
+        settle: float = 250.0,
+        loss_rate: float = 0.0,
+        compact_every: Optional[float] = None,
+        probe_every: Optional[float] = None,
+    ) -> None:
+        if workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {workload!r}; choose from {sorted(WORKLOADS)}"
+            )
+        self.schedule = schedule or NemesisSchedule()
+        self.workload = workload
+        self.seed = seed
+        self.workers = workers
+        self.instances = instances
+        self.max_time = max_time
+        self.quiesce_grace = quiesce_grace
+        self.check_every = check_every
+        self.settle = settle
+        self.loss_rate = loss_rate
+        self.compact_every = compact_every
+        self.probe_every = probe_every
+        # run state (populated by run())
+        self._probe_manager: Optional[TransactionManager] = None
+        self._probe_stores: List[ObjectStore] = []
+        self._system: Optional[WorkflowSystem] = None
+        self._injector: Optional[CrashPointInjector] = None
+        self._nodes: Dict[str, Node] = {}
+        self._stores: Dict[str, List[Any]] = {}
+        self._crashes: List[Dict[str, Any]] = []
+        self._violations: List[oracles.OracleViolation] = []
+        self._violation_keys: Set[Tuple[str, str, str]] = set()
+        self._terminal_seen: Dict[str, Tuple[str, Optional[str]]] = {}
+
+    # -- setup ----------------------------------------------------------------
+
+    def run(self) -> SimReport:
+        spec = WORKLOADS[self.workload]
+        system = WorkflowSystem(
+            workers=self.workers, seed=self.seed, loss_rate=self.loss_rate
+        )
+        spec.binder(system.registry)
+        self._system = system
+        self._nodes = {
+            node.name: node
+            for node in [
+                system.repository_node,
+                system.execution_node,
+                system.client_node,
+                *system.worker_nodes,
+            ]
+        }
+        # Only the execution node owns chaos-targeted stable storage; the
+        # repository is deliberately left unbound so deploy-time visits do
+        # not shift hit counts (see CrashPointInjector docstring).
+        self._stores = {"execution-node": [system.execution_store]}
+        injector = CrashPointInjector(self._on_crash)
+        injector.bind(system.execution_store, "execution-node")
+        injector.bind(system.execution_store.wal, "execution-node")
+        injector.bind(system.execution.manager, "execution-node")
+        injector.bind(system.execution, "execution-node")
+        for node, worker in zip(system.worker_nodes, system.workers):
+            injector.bind(worker, node.name)
+        if self.probe_every is not None:
+            # Two scratch stores on the execution node plus a manager whose
+            # decision log is the execution store: the only code path in the
+            # system that runs genuine two-phase commit, so the prepare/2PC
+            # crash points (and in-doubt recovery) get exercised.
+            self._probe_stores = [ObjectStore("probe-a"), ObjectStore("probe-b")]
+            self._probe_manager = TransactionManager(
+                "probe-tm", decision_store=system.execution_store
+            )
+            self._stores["execution-node"].extend(self._probe_stores)
+            for store in self._probe_stores:
+                injector.bind(store, "execution-node")
+                injector.bind(store.wal, "execution-node")
+            injector.bind(self._probe_manager, "execution-node")
+        self._injector = injector
+        for fault in self.schedule.crash_faults():
+            injector.arm(fault.to_armed())
+        plan = FaultPlan(system.clock)
+        for fault in self.schedule.faults:
+            if isinstance(fault, CrashAtTime):
+                system.clock.call_at(
+                    fault.at,
+                    lambda f=fault: self._crash_node(
+                        f.node, point=None, mode="clean", downtime=f.downtime
+                    ),
+                    label=f"nemesis:crash:{fault.node}",
+                )
+            elif isinstance(fault, Partition):
+                plan.partition_at(
+                    system.network, fault.at, set(fault.group_a),
+                    set(fault.group_b), fault.heal_after,
+                )
+            elif isinstance(fault, LossBurst):
+                plan.loss_burst(system.network, fault.at, fault.duration, fault.rate)
+            elif isinstance(fault, DupBurst):
+                plan.dup_burst(system.network, fault.at, fault.duration, fault.rate)
+            elif isinstance(fault, ReorderBurst):
+                plan.reorder_burst(
+                    system.network, fault.at, fault.duration, fault.window
+                )
+        plan.arm()
+        if self.compact_every is not None:
+            self._arm_compactor()
+        if self.probe_every is not None:
+            self._arm_prober()
+        install(injector)
+        try:
+            self._deploy(spec)
+            iids = self._instantiate_all(spec)
+            self._drive(iids)
+        finally:
+            uninstall()
+        return self._report(iids)
+
+    def _arm_compactor(self) -> None:
+        system = self._system
+        interval = float(self.compact_every)
+
+        def tick() -> None:
+            # reschedule first: a SimulatedCrash inside compact() must not
+            # silence all future compactions
+            system.clock.call_after(interval, tick, label="harness:compact")
+            if system.execution_node.alive:
+                system.execution.compact()
+
+        system.clock.call_after(interval, tick, label="harness:compact")
+
+    def _arm_prober(self) -> None:
+        """Periodic 2PC probe: one transaction increments a counter in both
+        probe stores (two participants → genuine two-phase commit, with the
+        decision forced in the execution store's log), then a second
+        transaction writes and deliberately aborts.  The atomic-commit
+        oracle later demands the two counters never diverge — a crash
+        anywhere inside the protocol must either commit both or neither
+        once in-doubt participants are resolved."""
+        system = self._system
+        interval = float(self.probe_every)
+        store_a, store_b = self._probe_stores
+        manager = self._probe_manager
+
+        def tick() -> None:
+            system.clock.call_after(interval, tick, label="harness:probe")
+            if not system.execution_node.alive:
+                return
+
+            def body(txn) -> None:
+                a = txn.read(store_a, "probe-counter", 0)
+                b = txn.read(store_b, "probe-counter", 0)
+                txn.write(store_a, "probe-counter", a + 1)
+                txn.write(store_b, "probe-counter", b + 1)
+
+            manager.run(body)
+            scratch = manager.begin()
+            scratch.write(store_b, "probe-scratch", system.clock.now)
+            scratch.abort(reason="probe abort")
+
+        system.clock.call_after(interval, tick, label="harness:probe")
+
+    # -- crash machinery --------------------------------------------------------
+
+    def _on_crash(self, node_name: str, fault: ArmedCrash, scope: Any) -> None:
+        """Injector callback: make the crash real before the stack unwinds."""
+        if fault.mode == "torn" and isinstance(scope, WriteAheadLog):
+            scope.torn_force()
+        self._crash_node(
+            node_name, point=fault.point, mode=fault.mode, downtime=fault.downtime
+        )
+
+    def _crash_node(
+        self,
+        node_name: str,
+        point: Optional[str],
+        mode: str,
+        downtime: Optional[float],
+    ) -> None:
+        node = self._nodes[node_name]
+        if not node.alive:
+            return
+        for store in self._stores.get(node_name, ()):
+            store.crash()
+        if node_name == "execution-node":
+            # transaction managers are in-memory: their active-transaction
+            # table and cached commit decisions die with the machine (durable
+            # decisions live in the decision store's log, nowhere else)
+            managers = [self._system.execution.manager]
+            if self._probe_manager is not None:
+                managers.append(self._probe_manager)
+            for manager in managers:
+                manager._active.clear()
+                manager._decisions.clear()
+        node.crash()
+        self._crashes.append(
+            {
+                "node": node_name,
+                "time": self._system.clock.now,
+                "point": point,
+                "mode": mode,
+                "downtime": downtime,
+            }
+        )
+        if downtime is not None:
+            self._system.clock.call_after(
+                downtime,
+                lambda: self._recover_node(node_name),
+                label=f"harness:recover:{node_name}",
+            )
+
+    def _recover_node(self, node_name: str) -> None:
+        node = self._nodes[node_name]
+        if node.alive:
+            return
+        for store in self._stores.get(node_name, ()):
+            store.recover()
+        if node_name == "execution-node":
+            self._resolve_in_doubt()
+        node.recover()  # may raise SimulatedCrash via a recovery crash point
+        self._check("recovery", deep=True)
+
+    def _resolve_in_doubt(self) -> None:
+        """Finish 2PC for transactions caught between PREPARE and the
+        decision: presumed abort unless the coordinator's decision log (the
+        execution store) says commit.  Completing the record and re-replaying
+        the log is all a redo-only participant needs."""
+        if self._probe_manager is None:
+            return
+        for store in self._probe_stores:
+            for tid in list(store.in_doubt()):
+                committed = self._probe_manager.decision(tid)
+                store.wal.append(
+                    wal_mod.COMMIT if committed else wal_mod.ABORT, tid
+                )
+                store.wal.force()
+                store.recover()
+
+    # -- oracle plumbing ----------------------------------------------------------
+
+    def _record(self, found: List[oracles.OracleViolation]) -> None:
+        for violation in found:
+            key = (violation.oracle, violation.subject, violation.detail)
+            if key in self._violation_keys:
+                continue
+            self._violation_keys.add(key)
+            self._violations.append(violation)
+
+    def _check(self, phase: str, deep: bool = False) -> None:
+        system = self._system
+        found: List[oracles.OracleViolation] = []
+        for stores in self._stores.values():
+            for store in stores:
+                found += oracles.check_store_agreement(store, phase)
+        found += oracles.check_journal_integrity(system.execution_store, phase)
+        if system.execution_node.alive:
+            oracles.observe_terminal(system.execution, self._terminal_seen)
+            found += oracles.check_durability(
+                system.execution, self._terminal_seen, phase
+            )
+            if self._probe_stores:
+                found += oracles.check_atomic_commit(*self._probe_stores, phase=phase)
+            if deep:
+                found += oracles.check_replay_agreement(system.execution, phase)
+        self._record(found)
+
+    # -- driving --------------------------------------------------------------------
+
+    def _advance(self, delta: float) -> None:
+        """Advance virtual time, absorbing simulated crashes at the event
+        boundary (the crash callback already did all the state work)."""
+        clock = self._system.clock
+        target = clock.now + delta
+        while True:
+            try:
+                clock.run(until=target)
+                return
+            except SimulatedCrash:
+                continue
+
+    def _all_alive(self) -> bool:
+        return all(node.alive for node in self._nodes.values())
+
+    def _all_terminal(self, iids: List[str]) -> bool:
+        system = self._system
+        if not system.execution_node.alive:
+            return False
+        for iid in iids:
+            runtime = system.execution.runtimes.get(iid)
+            if runtime is None:
+                return False
+            if runtime.tree.status.value not in oracles.TERMINAL_STATUSES:
+                return False
+        return True
+
+    def _await_recovery(self) -> None:
+        """Wait out an outage after a crash interrupted a client call."""
+        deadline = self._system.clock.now + self.quiesce_grace
+        while self._system.clock.now < deadline:
+            if self._all_alive():
+                return
+            self._advance(self.check_every)
+            self._check("continuous")
+
+    def _deploy(self, spec: Workload) -> None:
+        for _ in range(5):
+            try:
+                self._system.deploy(spec.script_name, spec.text)
+                return
+            except (SimulatedCrash, CommFailure):
+                self._await_recovery()
+        raise RuntimeError("could not deploy workload script")
+
+    def _instantiate_all(self, spec: Workload) -> List[str]:
+        iids: List[str] = []
+        for index in range(self.instances):
+            iid = self._instantiate_one(spec, index, iids)
+            if iid is None:
+                break  # node stays down: nothing more can be created
+            iids.append(iid)
+        return iids
+
+    def _instantiate_one(
+        self, spec: Workload, index: int, known: List[str]
+    ) -> Optional[str]:
+        """Instantiate once, riding out crashes mid-call.
+
+        A crash may land anywhere inside the synchronous ``instantiate``
+        path — before or after the instance meta was committed — so after
+        recovery the harness never *predicts* the id: it asks the recovered
+        service which instances exist and only retries when nothing new was
+        persisted.
+        """
+        system = self._system
+        for _ in range(8):
+            try:
+                return system.instantiate(
+                    spec.script_name, spec.root_task, spec.inputs(index)
+                )
+            except (SimulatedCrash, CommFailure):
+                pass
+            self._await_recovery()
+            if not system.execution_node.alive:
+                return None
+            fresh = sorted(set(system.execution.runtimes) - set(known))
+            if fresh:
+                return fresh[0]
+        return None
+
+    def _drive(self, iids: List[str]) -> None:
+        system = self._system
+        deadline = system.clock.now + self.max_time
+        terminal_since: Optional[float] = None
+        while system.clock.now < deadline:
+            self._advance(self.check_every)
+            self._check("continuous")
+            if self._all_terminal(iids):
+                if not self._injector.pending():
+                    break
+                # armed faults still waiting: give late protocol activity
+                # (compaction ticks, sweeps) a bounded chance to hit them
+                if terminal_since is None:
+                    terminal_since = system.clock.now
+                elif system.clock.now - terminal_since >= self.settle:
+                    break
+            else:
+                terminal_since = None
+        healable = self._healable()
+        if healable:
+            guard = system.clock.now + self.quiesce_grace
+            while system.clock.now < guard:
+                if self._all_alive() and self._all_terminal(iids):
+                    break
+                self._advance(self.check_every)
+                self._check("continuous")
+        self._check("quiescence", deep=True)
+        if healable and self._all_alive():
+            self._record(oracles.check_liveness(system.execution, iids))
+
+    def _healable(self) -> bool:
+        """Liveness is only owed when every fault eventually heals."""
+        for fault in self.schedule.faults:
+            if isinstance(fault, (CrashAtPoint, CrashAtTime)) and fault.downtime is None:
+                return False
+            if isinstance(fault, Partition) and fault.heal_after is None:
+                return False
+        return True
+
+    # -- reporting -------------------------------------------------------------------
+
+    def _report(self, iids: List[str]) -> SimReport:
+        system = self._system
+        instances: Dict[str, Dict[str, Any]] = {}
+        for iid in iids:
+            runtime = (
+                system.execution.runtimes.get(iid)
+                if system.execution_node.alive
+                else None
+            )
+            if runtime is None:
+                instances[iid] = {"status": "lost", "outcome": None, "error": None}
+            else:
+                instances[iid] = {
+                    "status": runtime.tree.status.value,
+                    "outcome": runtime.tree.root.machine.outcome,
+                    "error": runtime.tree.error,
+                }
+        return SimReport(
+            workload=self.workload,
+            seed=self.seed,
+            workers=self.workers,
+            schedule=self.schedule.to_plain(),
+            instances=instances,
+            violations=[v.to_plain() for v in self._violations],
+            crashes=self._crashes,
+            fired=[[point, node] for point, node in self._injector.fired],
+            unfired=[fault.point for fault in self._injector.pending()],
+            points_visited=dict(sorted(self._injector.visits.items())),
+            network=system.network.stats.as_dict(),
+            end_time=system.clock.now,
+        )

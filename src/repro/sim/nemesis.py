@@ -1,0 +1,231 @@
+"""Declarative nemesis schedules.
+
+A :class:`NemesisSchedule` is a composable, JSON-serialisable list of fault
+declarations — the "nemesis" of Jepsen terminology.  Schedules are pure
+data: the harness interprets them against a live :class:`WorkflowSystem`
+(crash-at-point faults arm the crash-point injector; time-based faults ride
+the existing :class:`~repro.net.failures.FaultPlan` and the network's
+loss/dup/reorder knobs).  Because they are pure data they round-trip through
+repro files, shrink by dropping elements, and diff meaningfully in CI logs.
+
+Fault kinds::
+
+    crash_at_point   kill a node the Nth time a named protocol step runs
+                     (mode "torn" also tears the in-progress WAL force)
+    crash_at_time    classic wall-clock crash of a named node
+    partition        sever two node groups, optionally healing later
+    loss_burst       raise the datagram loss rate for a while
+    dup_burst        duplicate datagrams for a while
+    reorder_burst    delay ~half of all datagrams by up to a window
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
+
+from .crashpoints import ArmedCrash, point_named
+
+
+@dataclass(frozen=True)
+class CrashAtPoint:
+    """Crash the node that makes the ``at_hit``-th visit to ``point``."""
+
+    point: str
+    at_hit: int = 1
+    mode: str = "clean"             # "clean" | "torn"
+    node: Optional[str] = None      # restrict to one node; None = first to hit
+    downtime: Optional[float] = 30.0
+
+    kind = "crash_at_point"
+
+    def __post_init__(self) -> None:
+        ArmedCrash(  # validates point name, mode, torn capability, at_hit
+            point=self.point, at_hit=self.at_hit, mode=self.mode,
+            node=self.node, downtime=self.downtime,
+        )
+
+    def to_armed(self) -> ArmedCrash:
+        return ArmedCrash(
+            point=self.point, at_hit=self.at_hit, mode=self.mode,
+            node=self.node, downtime=self.downtime,
+        )
+
+    def describe(self) -> str:
+        tear = " (torn write)" if self.mode == "torn" else ""
+        who = self.node or "first visitor"
+        down = "forever" if self.downtime is None else f"{self.downtime}"
+        return (
+            f"crash {who} at {self.point} hit {self.at_hit}{tear}, "
+            f"down {down}"
+        )
+
+
+@dataclass(frozen=True)
+class CrashAtTime:
+    """Crash ``node`` at virtual time ``at``."""
+
+    at: float
+    node: str
+    downtime: Optional[float] = 30.0
+
+    kind = "crash_at_time"
+
+    def describe(self) -> str:
+        down = "forever" if self.downtime is None else f"{self.downtime}"
+        return f"crash {self.node} at t={self.at}, down {down}"
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Sever ``group_a`` from ``group_b`` at ``at``; heal ``heal_after``
+    later (never if None)."""
+
+    at: float
+    group_a: Tuple[str, ...]
+    group_b: Tuple[str, ...]
+    heal_after: Optional[float] = None
+
+    kind = "partition"
+
+    def describe(self) -> str:
+        heal = "never healed" if self.heal_after is None else f"healed +{self.heal_after}"
+        return (
+            f"partition {sorted(self.group_a)} | {sorted(self.group_b)} "
+            f"at t={self.at}, {heal}"
+        )
+
+
+@dataclass(frozen=True)
+class LossBurst:
+    at: float
+    duration: float
+    rate: float
+
+    kind = "loss_burst"
+
+    def describe(self) -> str:
+        return f"loss rate {self.rate} during [{self.at}, {self.at + self.duration})"
+
+
+@dataclass(frozen=True)
+class DupBurst:
+    at: float
+    duration: float
+    rate: float
+
+    kind = "dup_burst"
+
+    def describe(self) -> str:
+        return f"dup rate {self.rate} during [{self.at}, {self.at + self.duration})"
+
+
+@dataclass(frozen=True)
+class ReorderBurst:
+    at: float
+    duration: float
+    window: float
+
+    kind = "reorder_burst"
+
+    def describe(self) -> str:
+        return (
+            f"reorder window {self.window} during "
+            f"[{self.at}, {self.at + self.duration})"
+        )
+
+
+_FAULT_TYPES: Dict[str, Type] = {
+    cls.kind: cls
+    for cls in (CrashAtPoint, CrashAtTime, Partition, LossBurst, DupBurst,
+                ReorderBurst)
+}
+
+Fault = Any  # union of the dataclasses above
+
+
+def fault_to_plain(fault: Fault) -> Dict[str, Any]:
+    data = asdict(fault)
+    data["kind"] = fault.kind
+    return data
+
+
+def fault_from_plain(data: Dict[str, Any]) -> Fault:
+    data = dict(data)
+    kind = data.pop("kind")
+    try:
+        cls = _FAULT_TYPES[kind]
+    except KeyError:
+        raise ValueError(f"unknown fault kind {kind!r}") from None
+    if cls is Partition:
+        data["group_a"] = tuple(data["group_a"])
+        data["group_b"] = tuple(data["group_b"])
+    return cls(**data)
+
+
+@dataclass
+class NemesisSchedule:
+    """An ordered bag of fault declarations plus a label for reports."""
+
+    faults: List[Fault] = field(default_factory=list)
+    name: str = ""
+
+    # -- composition --------------------------------------------------------
+
+    def add(self, fault: Fault) -> "NemesisSchedule":
+        self.faults.append(fault)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def without(self, index: int) -> "NemesisSchedule":
+        """A copy with the ``index``-th fault dropped (shrinking step)."""
+        kept = [f for i, f in enumerate(self.faults) if i != index]
+        return NemesisSchedule(kept, name=f"{self.name}-drop{index}")
+
+    def crash_faults(self) -> List[CrashAtPoint]:
+        return [f for f in self.faults if isinstance(f, CrashAtPoint)]
+
+    def network_quiet_at(self) -> float:
+        """Earliest time after which no *time-based* fault is still active
+        (unhealed partitions count as never quiet)."""
+        quiet = 0.0
+        for fault in self.faults:
+            if isinstance(fault, (LossBurst, DupBurst, ReorderBurst)):
+                quiet = max(quiet, fault.at + fault.duration)
+            elif isinstance(fault, Partition):
+                if fault.heal_after is None:
+                    return float("inf")
+                quiet = max(quiet, fault.at + fault.heal_after)
+            elif isinstance(fault, CrashAtTime):
+                quiet = max(quiet, fault.at)
+        return quiet
+
+    def describe(self) -> str:
+        if not self.faults:
+            return "(no faults)"
+        return "; ".join(fault.describe() for fault in self.faults)
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_plain(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "faults": [fault_to_plain(fault) for fault in self.faults],
+        }
+
+    @classmethod
+    def from_plain(cls, data: Dict[str, Any]) -> "NemesisSchedule":
+        return cls(
+            faults=[fault_from_plain(item) for item in data.get("faults", [])],
+            name=data.get("name", ""),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_plain(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "NemesisSchedule":
+        return cls.from_plain(json.loads(text))

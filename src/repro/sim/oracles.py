@@ -1,0 +1,287 @@
+"""Invariant oracles for the simulation harness.
+
+Each oracle inspects the live system and returns violations — statements of
+fact about a broken guarantee, with enough detail to debug the schedule that
+produced it.  The harness runs the cheap oracles continuously (between event
+slices, when no transaction can be mid-commit) and the full set after every
+recovery and at quiescence.
+
+Oracles and the guarantees they police:
+
+``store-agreement``
+    The committed cache of every :class:`~repro.txn.store.ObjectStore` must
+    equal a replay of its durable WAL.  The cache is *defined* as a
+    projection of the log; divergence means a commit installed state that
+    the log cannot reproduce (a lost write after the next crash).
+``journal-contiguity``
+    Every instance in the durable ``instance-index`` must have its meta
+    object and journal entries ``0..journal_len-1`` all present.  A gap
+    means the journal-append transaction committed non-atomically.
+``exactly-once``
+    No two journal entries may resolve the same task execution, and no mark
+    may be journaled twice.  Duplicate worker replies (at-least-once
+    dispatch, duplicated datagrams, hedged sends) must be filtered before
+    the journal, not after.
+``replay-agreement``
+    For every live instance, replaying its durable journal from scratch
+    must reproduce the live tree's status and outcome.  This is the paper's
+    recovery guarantee checked *without* crashing: if replay disagrees with
+    the tree now, a crash right now would change history.
+``durability``
+    Once an instance has been *observed* terminal (the observation implies
+    the deciding entry was journaled, because entries are journaled before
+    they are applied), no later crash/recovery may change its status or
+    outcome.
+``liveness``
+    Once every node is healthy and the network is quiet, every instance
+    must reach a terminal status within the quiescence grace period.
+    Stuck-forever is a real bug (lost wakeup, un-redispatched flight), not
+    an acceptable outcome of a finite fault schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..txn import wal as wal_mod
+from ..txn.store import ObjectStore
+
+TERMINAL_STATUSES = ("completed", "aborted", "failed")
+
+
+@dataclass(frozen=True)
+class OracleViolation:
+    """One broken invariant."""
+
+    oracle: str     # which oracle fired (see module docstring)
+    subject: str    # instance id or store name
+    detail: str     # human-readable specifics
+    phase: str = ""  # when it was detected: "continuous" | "recovery" | "quiescence"
+
+    def to_plain(self) -> Dict[str, str]:
+        return {
+            "oracle": self.oracle,
+            "subject": self.subject,
+            "detail": self.detail,
+            "phase": self.phase,
+        }
+
+    def __str__(self) -> str:
+        where = f" [{self.phase}]" if self.phase else ""
+        return f"{self.oracle}({self.subject}){where}: {self.detail}"
+
+
+def check_store_agreement(store: ObjectStore, phase: str = "") -> List[OracleViolation]:
+    """Committed cache == replay of the durable log.
+
+    Only meaningful at a consistent point — between simulation events (no
+    transaction is mid-commit; commits run synchronously inside one event)
+    or right after ``store.recover()``.
+    """
+    replayed = wal_mod.replay(store.wal.durable_records())
+    live = store.snapshot()
+    if replayed == live:
+        return []
+    missing = sorted(set(replayed) - set(live))
+    extra = sorted(set(live) - set(replayed))
+    differing = sorted(
+        key for key in set(replayed) & set(live) if replayed[key] != live[key]
+    )
+    return [
+        OracleViolation(
+            "store-agreement",
+            store.name,
+            f"cache diverges from durable log: missing={missing[:5]} "
+            f"extra={extra[:5]} differing={differing[:5]}",
+            phase,
+        )
+    ]
+
+
+def _journal_entries(
+    store: ObjectStore, iid: str
+) -> Tuple[Optional[Dict[str, Any]], List[Optional[Dict[str, Any]]]]:
+    meta = store.get_committed(f"instance:{iid}:meta")
+    if meta is None:
+        return None, []
+    journal = [
+        store.get_committed(f"instance:{iid}:journal:{n}")
+        for n in range(meta["journal_len"])
+    ]
+    return meta, journal
+
+
+def check_journal_integrity(
+    store: ObjectStore, phase: str = ""
+) -> List[OracleViolation]:
+    """Contiguity + exactly-once over every instance's durable journal."""
+    violations: List[OracleViolation] = []
+    for iid in store.get_committed("instance-index", []):
+        meta, journal = _journal_entries(store, iid)
+        if meta is None:
+            violations.append(
+                OracleViolation(
+                    "journal-contiguity", iid,
+                    "instance is indexed but has no meta object", phase,
+                )
+            )
+            continue
+        holes = [n for n, entry in enumerate(journal) if entry is None]
+        if holes:
+            violations.append(
+                OracleViolation(
+                    "journal-contiguity", iid,
+                    f"journal_len={meta['journal_len']} but entries "
+                    f"{holes[:5]} are missing", phase,
+                )
+            )
+        seen: Dict[Tuple, int] = {}
+        for n, entry in enumerate(journal):
+            if entry is None:
+                continue
+            kind = entry.get("type")
+            if kind in ("result", "failure"):
+                key = ("result", entry["path"], entry["exec"])
+            elif kind == "mark":
+                key = ("mark", entry["path"], entry["exec"], entry["name"])
+            elif kind == "deadline":
+                key = ("deadline", entry["path"], entry["exec"])
+            else:
+                continue  # reconfig / force_abort / external may legally repeat
+            if key in seen:
+                violations.append(
+                    OracleViolation(
+                        "exactly-once", iid,
+                        f"journal entries {seen[key]} and {n} both record "
+                        f"{key}", phase,
+                    )
+                )
+            else:
+                seen[key] = n
+    return violations
+
+
+def check_replay_agreement(service: Any, phase: str = "") -> List[OracleViolation]:
+    """Replaying each live instance's durable journal must land on the live
+    tree's (status, outcome).  ``service`` is an ExecutionService; typed as
+    Any to keep this module import-light."""
+    if not getattr(service, "durable", False):
+        return []
+    violations: List[OracleViolation] = []
+    for iid, runtime in sorted(service.runtimes.items()):
+        shadow = service._replay(iid)
+        if shadow is None:
+            violations.append(
+                OracleViolation(
+                    "replay-agreement", iid,
+                    "live instance has no durable meta to replay from", phase,
+                )
+            )
+            continue
+        live = (runtime.tree.status.value, runtime.tree.root.machine.outcome)
+        replayed = (shadow.tree.status.value, shadow.tree.root.machine.outcome)
+        if live != replayed:
+            violations.append(
+                OracleViolation(
+                    "replay-agreement", iid,
+                    f"live tree is {live} but journal replay yields {replayed}",
+                    phase,
+                )
+            )
+    return violations
+
+
+def observe_terminal(
+    service: Any, recorded: Dict[str, Tuple[str, Optional[str]]]
+) -> None:
+    """Record the first observed terminal (status, outcome) per instance.
+
+    Entries are journaled before they are applied to the tree, so an
+    observed terminal tree state implies the deciding journal entry is
+    durable — it is from that moment on that losing it becomes a
+    durability violation.
+    """
+    for iid, runtime in service.runtimes.items():
+        status = runtime.tree.status.value
+        if status in TERMINAL_STATUSES and iid not in recorded:
+            recorded[iid] = (status, runtime.tree.root.machine.outcome)
+
+
+def check_durability(
+    service: Any,
+    recorded: Mapping[str, Tuple[str, Optional[str]]],
+    phase: str = "",
+) -> List[OracleViolation]:
+    """No previously-observed committed outcome may change or vanish."""
+    violations: List[OracleViolation] = []
+    for iid, (status, outcome) in sorted(recorded.items()):
+        runtime = service.runtimes.get(iid)
+        if runtime is None:
+            violations.append(
+                OracleViolation(
+                    "durability", iid,
+                    f"instance was observed {status}/{outcome} but is now "
+                    f"gone from the execution service", phase,
+                )
+            )
+            continue
+        now = (runtime.tree.status.value, runtime.tree.root.machine.outcome)
+        if now != (status, outcome):
+            violations.append(
+                OracleViolation(
+                    "durability", iid,
+                    f"instance was observed {status}/{outcome} but is now "
+                    f"{now[0]}/{now[1]}", phase,
+                )
+            )
+    return violations
+
+
+def check_atomic_commit(
+    store_a: ObjectStore,
+    store_b: ObjectStore,
+    key: str = "probe-counter",
+    phase: str = "",
+) -> List[OracleViolation]:
+    """2PC atomicity: the probe counter incremented in both participant
+    stores under one transaction must never diverge.  Only meaningful once
+    in-doubt participants have been resolved (the harness checks after
+    recovery resolution, never mid-outage)."""
+    a = store_a.get_committed(key, 0)
+    b = store_b.get_committed(key, 0)
+    if a == b:
+        return []
+    return [
+        OracleViolation(
+            "atomic-commit",
+            f"{store_a.name}+{store_b.name}",
+            f"{key} diverged: {store_a.name}={a} {store_b.name}={b}",
+            phase,
+        )
+    ]
+
+
+def check_liveness(
+    service: Any, expected: List[str], phase: str = "quiescence"
+) -> List[OracleViolation]:
+    """Every expected instance must be present and terminal."""
+    violations: List[OracleViolation] = []
+    for iid in expected:
+        runtime = service.runtimes.get(iid)
+        if runtime is None:
+            violations.append(
+                OracleViolation(
+                    "liveness", iid,
+                    "instance missing from a healthy execution service", phase,
+                )
+            )
+            continue
+        status = runtime.tree.status.value
+        if status not in TERMINAL_STATUSES:
+            detail = (
+                f"status {status!r} with {len(runtime.in_flight)} in-flight "
+                f"and {len(runtime.external)} external tasks after quiescence"
+            )
+            violations.append(OracleViolation("liveness", iid, detail, phase))
+    return violations

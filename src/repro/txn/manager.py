@@ -20,6 +20,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple, TypeVar
 
+from ..sim.crashpoints import crash_point
 from .ids import IdSource, ObjectId, TransactionId
 from .locks import LockConflict, LockMode
 from .store import NoSuchObject, ObjectStore
@@ -145,12 +146,14 @@ class Transaction:
             self.parent._active_child = None
             self.state = TransactionState.COMMITTED
             return
+        crash_point("txn.commit.pre", self.manager)
         participants = [s for s in self._writes if self._writes[s]]
         if len(participants) <= 1:
             self._commit_one_phase(participants)
         else:
             self._commit_two_phase(participants)
         self.state = TransactionState.COMMITTED
+        crash_point("txn.commit.post", self.manager)
         self._release_locks()
         self.manager.forget(self.tid)
 
@@ -166,8 +169,10 @@ class Transaction:
             store.log_updates(self.tid, self._writes[store])
             store.prepare(self.tid)
         self.state = TransactionState.PREPARED
+        crash_point("txn.2pc.prepared", self.manager)
         # Decision point: force the COMMIT decision in the coordinator log.
         self.manager.record_decision(self.tid, committed=True)
+        crash_point("txn.2pc.decided", self.manager)
         # Phase 2: participants force COMMIT and install.
         for store in participants:
             store.commit(self.tid, self._writes[store])

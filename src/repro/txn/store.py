@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, KeysView, Optional
 
+from ..sim.crashpoints import crash_point
 from .ids import ObjectId, TransactionId
 from .locks import LockManager
 from . import wal as wal_mod
@@ -57,19 +58,26 @@ class ObjectStore:
         self.wal.append(wal_mod.BEGIN, txn)
         for key, value in writes.items():
             self.wal.append(wal_mod.UPDATE, txn, ObjectId(key), value)
+        crash_point("store.log_updates.post", self)
 
     def prepare(self, txn: TransactionId) -> None:
         """2PC vote: force a PREPARE record."""
+        crash_point("store.prepare.pre", self)
         self.wal.append(wal_mod.PREPARE, txn)
         self.wal.force()
+        crash_point("store.prepare.post", self)
 
     def commit(self, txn: TransactionId, writes: Dict[str, Any]) -> None:
         """Force the COMMIT record, then install the after-images."""
+        crash_point("store.commit.pre", self)
         self.wal.append(wal_mod.COMMIT, txn)
         self.wal.force()
+        crash_point("store.commit.forced", self)
         self._committed.update(writes)
+        crash_point("store.commit.post", self)
 
     def abort(self, txn: TransactionId) -> None:
+        crash_point("store.abort.pre", self)
         self.wal.append(wal_mod.ABORT, txn)
         self.wal.force()
 
@@ -77,9 +85,15 @@ class ObjectStore:
 
     def crash(self) -> int:
         """Lose volatile state: unforced log records vanish and the committed
-        cache is rebuilt from the durable log.  Returns records lost."""
+        cache is rebuilt from the durable log.  Returns records lost.
+
+        The lock table is volatile too — locks held by transactions that were
+        in flight at crash time die with them, so recovery-time transactions
+        start against a clean table instead of deadlocking on ghosts.
+        """
         lost = self.wal.lose_unforced()
         self._committed = wal_mod.replay(self.wal.durable_records())
+        self.locks = LockManager()
         return lost
 
     def recover(self) -> None:

@@ -4,7 +4,10 @@ Redo-only logging: a transaction's updates are appended as ``UPDATE`` records
 and become durable exactly when its ``COMMIT`` record is forced.  The log
 lives in *stable storage* — in the simulation, a plain Python list attached to
 a node's stable store that deliberately survives :meth:`Node.crash` — and can
-optionally be mirrored to a JSON-lines file on disk for inspection.
+optionally be mirrored to a JSON-lines file on disk for inspection.  The
+mirror trails ``_forced_upto``: it receives records only when they are
+*forced* (flushed and fsynced at that moment), so after any crash — torn
+writes included — the file holds exactly the durable prefix.
 
 Record kinds::
 
@@ -19,9 +22,11 @@ Record kinds::
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional
 
+from ..sim.crashpoints import crash_point
 from .ids import ObjectId, TransactionId
 
 
@@ -89,13 +94,48 @@ class WriteAheadLog:
 
     def force(self) -> int:
         """Make all appended records durable; returns the durable LSN."""
+        crash_point("wal.force.pre", self)
         start = self._forced_upto
         self._forced_upto = len(self._records)
-        if self._mirror_path and self._forced_upto > start:
-            with open(self._mirror_path, "a", encoding="utf-8") as fh:
-                for record in self._records[start:self._forced_upto]:
-                    fh.write(record.to_json() + "\n")
+        self._mirror(start, self._forced_upto)
+        crash_point("wal.force.post", self)
         return self._records[-1].lsn if self._records else 0
+
+    def torn_force(self) -> int:
+        """A force cut short by a crash: every pending record except the last
+        becomes durable; the last write is torn and will be discarded by
+        :meth:`lose_unforced` (recovery drops a record with a bad checksum).
+        Returns how many records were made durable.
+
+        Only meaningful from a crash injector — normal operation never
+        half-forces.  The on-disk mirror receives exactly the records that
+        became durable, so mirror and simulated stable storage agree.
+        """
+        target = len(self._records) - 1
+        if target <= self._forced_upto:
+            return 0  # zero or one pending record: nothing becomes durable
+        start = self._forced_upto
+        self._forced_upto = target
+        self._mirror(start, target)
+        return target - start
+
+    def _mirror(self, start: int, end: int) -> None:
+        """Append records ``[start, end)`` to the JSON-lines mirror.
+
+        The mirror only ever receives *forced* records — it trails
+        ``_forced_upto``, never the volatile tail — so after any crash the
+        file is exactly the durable prefix.  The write is flushed and
+        fsynced before returning: the in-simulation force already happened,
+        and a mirror that lagged the simulated durability point would lie to
+        anyone inspecting it post-mortem.
+        """
+        if not self._mirror_path or end <= start:
+            return
+        with open(self._mirror_path, "a", encoding="utf-8") as fh:
+            for record in self._records[start:end]:
+                fh.write(record.to_json() + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
 
     def lose_unforced(self) -> int:
         """Simulate a crash: drop records appended since the last force.
@@ -124,12 +164,23 @@ class WriteAheadLog:
 
     def checkpoint(self, snapshot: Dict[str, Any]) -> None:
         """Write a checkpoint carrying a full committed snapshot, force it and
-        truncate everything before it."""
+        truncate everything before it.
+
+        Crash-consistent at every step: before the force the CHECKPOINT
+        record is volatile (recovery sees the pre-compaction log); after the
+        force but before the truncation the durable log ends in a CHECKPOINT
+        whose replay supersedes everything before it (recovery sees the
+        post-compaction state); the truncation itself only discards records
+        the checkpoint already covers.  There is no half-compacted state.
+        """
+        crash_point("wal.checkpoint.pre", self)
         record = self.append(CHECKPOINT, value=snapshot)
         self.force()
+        crash_point("wal.checkpoint.forced", self)
         index = self._records.index(record)
         self._records = self._records[index:]
         self._forced_upto = len(self._records)
+        crash_point("wal.checkpoint.post", self)
 
 
 def replay(records: Iterable[LogRecord]) -> Dict[str, Any]:

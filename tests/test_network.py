@@ -177,3 +177,82 @@ class TestPartitions:
         net.partition({"a"}, {"b"})
         clock.run()
         assert got == []
+
+class TestDuplication:
+    def test_dup_rate_injects_extra_copies(self):
+        clock = EventClock()
+        net = Network(clock, LatencyModel(1.0), seed=4, dup_rate=0.5)
+        got = []
+        net.attach("b", got.append)
+        for _ in range(200):
+            net.send("a", "b", "x")
+        clock.run()
+        assert net.stats.duplicated > 0
+        assert len(got) == 200 + net.stats.duplicated
+        assert net.stats.delivered == len(got)
+
+    def test_zero_dup_rate_never_duplicates(self):
+        clock = EventClock()
+        net = Network(clock, LatencyModel(1.0), seed=4, dup_rate=0.0)
+        got = []
+        net.attach("b", got.append)
+        for _ in range(100):
+            net.send("a", "b", "x")
+        clock.run()
+        assert net.stats.duplicated == 0
+        assert len(got) == 100
+
+    def test_invalid_dup_rate_rejected(self):
+        clock = EventClock()
+        with pytest.raises(SimulationError):
+            Network(clock, dup_rate=1.0)
+
+
+class TestReordering:
+    def test_reorder_window_delivers_out_of_send_order(self):
+        clock = EventClock()
+        net = Network(clock, LatencyModel(1.0), seed=7, reorder_window=10.0)
+        got = []
+        net.attach("b", lambda m: got.append(m.payload))
+        for n in range(50):
+            net.send("a", "b", n)
+        clock.run()
+        assert net.stats.reordered > 0
+        assert sorted(got) == list(range(50))  # nothing lost...
+        assert got != sorted(got)              # ...but order was scrambled
+
+    def test_negative_reorder_window_rejected(self):
+        clock = EventClock()
+        with pytest.raises(SimulationError):
+            Network(clock, reorder_window=-1.0)
+
+
+class TestIncarnations:
+    def test_message_to_crashed_incarnation_dropped_stale(self):
+        # a datagram stamped for incarnation 0 must not leak into the
+        # endpoint's recovered (incarnation 1) self
+        clock, net = make()
+        got = []
+        net.attach("b", got.append, incarnation=0)
+        net.send("a", "b", "for-old-self")
+        net.detach("b")
+        net.attach("b", got.append, incarnation=1)
+        clock.run()
+        assert got == []
+        assert net.stats.dropped_stale == 1
+
+    def test_same_incarnation_still_delivered_after_reattach(self):
+        clock, net = make()
+        got = []
+        net.attach("b", got.append, incarnation=3)
+        net.send("a", "b", "x")
+        net.detach("b")
+        net.attach("b", got.append, incarnation=3)
+        clock.run()
+        assert len(got) == 1
+
+    def test_incarnation_query(self):
+        clock, net = make()
+        assert net.incarnation("b") == 0
+        net.attach("b", lambda m: None, incarnation=5)
+        assert net.incarnation("b") == 5
