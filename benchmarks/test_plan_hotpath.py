@@ -1,0 +1,115 @@
+"""Hot-path benchmark: compiled execution plans vs the interpretive path.
+
+Measures, per workload, steps/sec and *readiness re-evaluations per publish*
+(``HOTPATH_STATS.source_evals / publishes``) for both engine paths, asserts
+byte-identical event logs, and writes the table to ``BENCH_hotpath.json``
+(override the path with the ``BENCH_HOTPATH`` environment variable).
+
+The headline claim: on fan-heavy scripts the firing table touches only the
+consumers of the published event, cutting per-publish readiness work by >= 5x
+versus offering every event to every sibling tracker.
+"""
+
+import json
+import os
+import time
+
+from repro.core.selection import HOTPATH_STATS
+from repro.engine import LocalEngine
+from repro.workloads import chain, fan, random_dag
+
+from .conftest import report
+
+WORKLOADS = [
+    ("fan64", lambda: fan(64)),
+    ("chain64", lambda: chain(64)),
+    ("dag48", lambda: random_dag(48, seed=7)),
+]
+
+
+def canonical_log(log):
+    return [
+        (
+            entry.seq,
+            entry.time,
+            entry.scope_path,
+            entry.producer_path,
+            entry.event.producer,
+            entry.event.kind.value,
+            entry.event.name,
+            entry.event.seq,
+            tuple(
+                (name, ref.class_name, ref.value, ref.produced_by, ref.via)
+                for name, ref in entry.event.objects.items()
+            ),
+        )
+        for entry in log.entries
+    ]
+
+
+def measure(workload, use_plan, repeats=3):
+    """Best-of-N run: (result, wall seconds, publishes, evals/publish)."""
+    script, registry, root, inputs = workload()
+    engine = LocalEngine(registry, use_plan=use_plan)
+    best = None
+    for _ in range(repeats):
+        HOTPATH_STATS.reset()
+        begin = time.perf_counter()
+        result = engine.run(script, root, inputs=inputs)
+        elapsed = time.perf_counter() - begin
+        assert result.completed, f"{root}: {result.status}"
+        sample = (result, elapsed, HOTPATH_STATS.publishes, HOTPATH_STATS.evals_per_publish())
+        if best is None or elapsed < best[1]:
+            best = sample
+    return best
+
+
+def test_plan_hotpath_reduction_and_report():
+    rows = []
+    payload = {"unit": "readiness source evaluations per published event", "workloads": {}}
+    for name, workload in WORKLOADS:
+        interp_result, interp_s, publishes, interp_ratio = measure(workload, use_plan=False)
+        plan_result, plan_s, plan_publishes, plan_ratio = measure(workload, use_plan=True)
+
+        # same semantics before any perf claim
+        assert canonical_log(plan_result.log) == canonical_log(interp_result.log)
+        assert publishes == plan_publishes
+
+        steps = plan_result.stats["steps"]
+        reduction = interp_ratio / plan_ratio if plan_ratio else float("inf")
+        rows.append(
+            (
+                name,
+                steps,
+                f"{steps / plan_s:.0f}",
+                f"{steps / interp_s:.0f}",
+                f"{plan_ratio:.2f}",
+                f"{interp_ratio:.2f}",
+                f"{reduction:.1f}x",
+            )
+        )
+        payload["workloads"][name] = {
+            "steps": steps,
+            "publishes": publishes,
+            "plan_steps_per_sec": round(steps / plan_s, 1),
+            "interpretive_steps_per_sec": round(steps / interp_s, 1),
+            "plan_evals_per_publish": round(plan_ratio, 3),
+            "interpretive_evals_per_publish": round(interp_ratio, 3),
+            "eval_reduction": round(reduction, 2),
+            "logs_byte_identical": True,
+        }
+
+    report(
+        "hotpath: plan vs interpretive",
+        ["workload", "steps", "plan st/s", "interp st/s", "plan ev/pub", "interp ev/pub", "reduction"],
+        rows,
+    )
+
+    out = os.environ.get("BENCH_HOTPATH", "BENCH_hotpath.json")
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"   wrote {out}")
+
+    # acceptance: >= 5x fewer per-publish readiness re-evaluations on the
+    # fan-heavy workload, where incrementalization matters most
+    assert payload["workloads"]["fan64"]["eval_reduction"] >= 5.0

@@ -26,6 +26,7 @@ Exit codes (``lint`` and ``analyze``):
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -83,6 +84,26 @@ def cmd_inspect(args: argparse.Namespace) -> int:
             )
         else:
             print(f"task {name}: taskclass {decl.taskclass_name}")
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    from .engine.plan import compile_plan
+
+    try:
+        script = compile_script(_read(args.script))
+    except (ParseError, ValidationReport) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    try:
+        plan = compile_plan(script, root_task=args.task, analyze=not args.no_liveness)
+    except KeyError as exc:
+        print(f"ERROR: {exc.args[0]}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(plan.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(plan.render())
     return 0
 
 
@@ -370,6 +391,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true", help="any finding fails the run"
     )
     lint.set_defaults(fn=cmd_lint)
+
+    plan = commands.add_parser(
+        "plan",
+        help="compile a script into its incrementalized execution plan "
+        "(task ids, slot bitmasks, firing tables) and dump it",
+    )
+    plan.add_argument("script", help="path to a .wf script")
+    plan.add_argument("task", nargs="?", help="top-level task (default: all)")
+    plan.add_argument("--json", action="store_true", help="JSON instead of text")
+    plan.add_argument(
+        "--no-liveness",
+        action="store_true",
+        help="skip the liveness fixpoint (no live/dead annotations)",
+    )
+    plan.set_defaults(fn=cmd_plan)
 
     dot = commands.add_parser("dot", help="Graphviz export")
     dot.add_argument("script")

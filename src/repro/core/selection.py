@@ -65,6 +65,36 @@ def event_kind_for(kind: OutputKind) -> EventKind:
     return _EVENT_KIND_FOR_OUTPUT[kind]
 
 
+class HotpathStats:
+    """Counters for the event hot path, shared by both tracker families.
+
+    ``publishes`` counts events entering scopes; ``source_evals`` counts
+    individual source-alternative examinations (each :func:`source_matches`
+    call here, each candidate examined by the compiled
+    :class:`~repro.engine.plan.PlanTracker`).  ``source_evals / publishes``
+    is therefore the per-publish readiness re-evaluation cost the plan
+    compiler exists to shrink.  Counters are best-effort under the
+    concurrent engine (unsynchronised increments) — they instrument
+    benchmarks, not semantics.
+    """
+
+    __slots__ = ("publishes", "source_evals")
+
+    def __init__(self) -> None:
+        self.publishes = 0
+        self.source_evals = 0
+
+    def reset(self) -> None:
+        self.publishes = 0
+        self.source_evals = 0
+
+    def evals_per_publish(self) -> float:
+        return self.source_evals / self.publishes if self.publishes else 0.0
+
+
+HOTPATH_STATS = HotpathStats()
+
+
 @transferable
 @dataclass(frozen=True)
 class WorkflowEvent:
@@ -91,6 +121,7 @@ def source_matches(source, event: WorkflowEvent) -> Optional[ObjectRef]:
     For notification sources the return value is a placeholder ObjectRef so
     callers can treat both uniformly; its class name is ``"<notification>"``.
     """
+    HOTPATH_STATS.source_evals += 1
     if source.task_name != event.producer:
         return None
     if source.guard_kind is GuardKind.OUTPUT:

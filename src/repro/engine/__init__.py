@@ -22,6 +22,7 @@ from .trace import render_summary, render_trace
 from .events import EventLog, LogEntry, WorkflowResult, WorkflowStatus
 from .instance import CompoundNode, InstanceTree, TaskNode
 from .local import LocalEngine, LocalWorkflow
+from .plan import ExecutionPlan, PlanTracker, TaskTable, compile_plan
 from .registry import ImplementationRegistry, ScriptBinding, TaskCallable
 
 __all__ = [
@@ -29,21 +30,25 @@ __all__ = [
     "ConcurrentEngine",
     "ConcurrentWorkflow",
     "EventLog",
+    "ExecutionPlan",
     "ImplementationRegistry",
     "InstanceTree",
     "LocalEngine",
     "LocalWorkflow",
     "LogEntry",
     "PendingExternal",
+    "PlanTracker",
     "ScriptBinding",
     "TaskCallable",
     "TaskContext",
     "TaskNode",
     "TaskResult",
+    "TaskTable",
     "WorkflowResult",
     "WorkflowStatus",
     "abort",
     "coerce_objects",
+    "compile_plan",
     "enabled_pairs",
     "outcome",
     "pending",

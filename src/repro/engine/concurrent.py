@@ -83,6 +83,7 @@ class ConcurrentWorkflow(LocalWorkflow):
         max_repeats: int = 1000,
         max_steps: int = 100_000,
         parallelism: int = 4,
+        use_plan: bool = True,
     ) -> None:
         super().__init__(
             script,
@@ -91,6 +92,7 @@ class ConcurrentWorkflow(LocalWorkflow):
             default_retries=default_retries,
             max_repeats=max_repeats,
             max_steps=max_steps,
+            use_plan=use_plan,
         )
         self.parallelism = max(1, int(parallelism))
         # guards steps/inflight; Condition wraps an RLock, so budget helpers
@@ -169,12 +171,14 @@ class ConcurrentEngine(LocalEngine):
         max_repeats: int = 1000,
         max_steps: int = 100_000,
         parallelism: int = 4,
+        use_plan: bool = True,
     ) -> None:
         super().__init__(
             registry,
             default_retries=default_retries,
             max_repeats=max_repeats,
             max_steps=max_steps,
+            use_plan=use_plan,
         )
         self.parallelism = parallelism
 
@@ -192,4 +196,5 @@ class ConcurrentEngine(LocalEngine):
             max_repeats=self.max_repeats,
             max_steps=self.max_steps,
             parallelism=self.parallelism,
+            use_plan=self.use_plan,
         )

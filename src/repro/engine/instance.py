@@ -34,6 +34,7 @@ from ..core.schema import (
     TaskDecl,
 )
 from ..core.selection import (
+    HOTPATH_STATS,
     EventKind,
     Scope,
     TaskInputTracker,
@@ -44,6 +45,17 @@ from ..core.states import TaskState, TaskStateMachine
 from ..core.values import ObjectRef
 from .context import TaskResult, coerce_objects
 from .events import EventLog, WorkflowStatus
+from .plan import (
+    EventKey,
+    ExecutionPlan,
+    PlanTracker,
+    TaskTable,
+    augment_vocabulary,
+    compile_node_table,
+    compile_watch_tables,
+    compound_scope_vocabulary,
+    root_scope_vocabulary,
+)
 
 
 def _watch_binding(binding: OutputBinding) -> InputSetBinding:
@@ -77,6 +89,9 @@ class TaskNode:
         self.tree = tree
         self.machine = TaskStateMachine(path, taskclass)
         self.outer_scope: Scope = parent.inner_scope if parent else tree.root_scope
+        # compiled input table (plan mode); assigned by the enclosing scope's
+        # plan recompilation (or the tree, for the root node)
+        self.plan_table: Optional[TaskTable] = None
         self.tracker = self._new_tracker()
         self.alive = True
         self.queued = False
@@ -138,7 +153,9 @@ class TaskNode:
                     names.add(source.task_name)
         return names
 
-    def _new_tracker(self) -> TaskInputTracker:
+    def _new_tracker(self) -> Union[TaskInputTracker, PlanTracker]:
+        if self.tree.use_plan and self.plan_table is not None:
+            return PlanTracker(self.plan_table)
         bindings = self.decl.input_sets
         if not bindings and not self.taskclass.input_sets:
             # A task class without input sets starts unconditionally once its
@@ -163,6 +180,10 @@ class TaskNode:
 
     def deactivate(self) -> None:
         self.alive = False
+        # release any drain claim: a claimed node whose ancestor terminates
+        # or repeats would otherwise stay claimed forever if the engine never
+        # gets around to try_begin_execution (it re-checks readiness anyway)
+        self.claimed = False
 
 
 class CompoundNode(TaskNode):
@@ -179,8 +200,12 @@ class CompoundNode(TaskNode):
         self.inner_scope = Scope(path)  # must exist before children bind to it
         super().__init__(decl, taskclass, path, parent, tree)
         self.children: List[TaskNode] = []
-        self.output_watchers: List[TaskInputTracker] = []
+        self.output_watchers: List[Union[TaskInputTracker, PlanTracker]] = []
         self.emitted_outputs: set = set()
+        # plan mode: firing tables for this compound's inner scope
+        self.plan_routing: Dict[EventKey, Tuple[TaskNode, ...]] = {}
+        self.watch_tables: Tuple[TaskTable, ...] = ()
+        self.watcher_routing: Optional[Dict[EventKey, Tuple[int, ...]]] = None
         self._build_inside()
 
     @property
@@ -206,6 +231,76 @@ class CompoundNode(TaskNode):
             for producer in child.interests():
                 index.setdefault(producer, []).append(child)
         self.routing = index
+        if self.tree.use_plan:
+            self._recompile_plan()
+
+    # -- plan compilation (incrementalized hot path) -------------------------
+
+    def _scope_vocabulary(self):
+        """Static event vocabulary of this compound's inner scope, folded
+        with the scope's actual history (sound under reconfiguration)."""
+        vocab = compound_scope_vocabulary(
+            self.compound_decl,
+            self.taskclass,
+            [(c.local_name, c.taskclass, c.decl) for c in self.children],
+        )
+        return augment_vocabulary(vocab, self.inner_scope.events)
+
+    def _recompile_plan(self) -> None:
+        """(Re)compile every child's input table, this scope's firing table
+        and the output-watcher tables.  Safe to call on a live scope: WAIT
+        children get a fresh tracker replayed from the scope history, which
+        is observably identical to the tracker state they already held (a
+        tracker is a pure fold of its scope's event history)."""
+        seed = self.tree._plan_seed()
+        vocab = None
+        routing: Dict[EventKey, List[TaskNode]] = {}
+        for child in self.children:
+            table = seed.tables.get(child.path) if seed is not None else None
+            if table is None:
+                if vocab is None:
+                    vocab = self._scope_vocabulary()
+                table = compile_node_table(child.decl, child.taskclass, vocab)
+            child.plan_table = table
+            for key in table.entries:
+                routing.setdefault(key, []).append(child)
+            if child.alive and child.machine.state is TaskState.WAIT:
+                child.reset_inputs()
+                self.tree._enqueue_if_ready(child)
+        self.plan_routing = {key: tuple(nodes) for key, nodes in routing.items()}
+        watch_tables = seed.watch_tables.get(self.path) if seed is not None else None
+        if watch_tables is None:
+            if vocab is None:
+                vocab = self._scope_vocabulary()
+            watch_tables = compile_watch_tables(self.compound_decl, vocab)
+        self._rebuild_watchers(watch_tables)
+
+    def _rebuild_watchers(
+        self, watch_tables: Optional[Tuple[TaskTable, ...]] = None
+    ) -> None:
+        """Fresh output watchers (plan or interpretive, per tree mode),
+        replayed from the inner scope; emitted outputs stay emitted."""
+        preserved = self.emitted_outputs
+        if self.tree.use_plan:
+            if watch_tables is None:
+                watch_tables = compile_watch_tables(
+                    self.compound_decl, self._scope_vocabulary()
+                )
+            self.watch_tables = watch_tables
+            self.output_watchers = [PlanTracker(t) for t in watch_tables]
+            wrouting: Dict[EventKey, List[int]] = {}
+            for position, table in enumerate(watch_tables):
+                for key in table.entries:
+                    wrouting.setdefault(key, []).append(position)
+            self.watcher_routing = {k: tuple(v) for k, v in wrouting.items()}
+        else:
+            self.output_watchers = [
+                TaskInputTracker([_watch_binding(b)]) for b in self.compound_decl.outputs
+            ]
+        self.emitted_outputs = preserved
+        for event in self.inner_scope.events:
+            for watcher in self.output_watchers:
+                watcher.offer(event)
 
     def child(self, name: str) -> Optional[TaskNode]:
         for node in self.children:
@@ -246,6 +341,8 @@ class InstanceTree:
         now: Callable[[], float] = lambda: 0.0,
         default_retries: int = 3,
         max_repeats: int = 1000,
+        use_plan: bool = True,
+        plan: Optional[ExecutionPlan] = None,
     ) -> None:
         if root_task not in script.tasks:
             raise ExecutionError(f"script has no top-level task {root_task!r}")
@@ -254,6 +351,12 @@ class InstanceTree:
         self.now = now
         self.default_retries = default_retries
         self.max_repeats = max_repeats
+        # plan mode (default): route events and track input satisfaction via
+        # compiled firing tables/bitmasks; False falls back to the
+        # interpretive trackers (kept for differential testing)
+        self.use_plan = bool(use_plan)
+        # optional precompiled table cache (must be compiled from `script`)
+        self.plan = plan
         self.root_scope = Scope("")
         self.lock = threading.RLock()
         self.status = WorkflowStatus.RUNNING
@@ -262,8 +365,33 @@ class InstanceTree:
         self._pending: Deque[Tuple[Scope, str, WorkflowEvent]] = deque()
         self.nodes_created = 0
         self.root = self._make_node(script.tasks[root_task], None)
+        if self.use_plan:
+            self._compile_root_plan()
 
     # -- tree construction ------------------------------------------------------------
+
+    def _plan_seed(self) -> Optional[ExecutionPlan]:
+        """The precompiled table cache, valid only while it matches the live
+        script object (reconfiguration swaps the script and invalidates it)."""
+        if self.plan is not None and self.plan.script is self.script:
+            return self.plan
+        return None
+
+    def _compile_root_plan(self) -> None:
+        """Compile (or fetch from the seed plan) the root task's own input
+        table — the root scope has a single consumer, the root itself."""
+        root = self.root
+        seed = self._plan_seed()
+        table = seed.tables.get(root.path) if seed is not None else None
+        if table is None:
+            vocab = augment_vocabulary(
+                root_scope_vocabulary(root.decl, root.taskclass),
+                self.root_scope.events,
+            )
+            table = compile_node_table(root.decl, root.taskclass, vocab)
+        root.plan_table = table
+        if root.alive and root.machine.state is TaskState.WAIT:
+            root.reset_inputs()
 
     def _make_node(self, decl: AnyTaskDecl, parent: Optional[CompoundNode]) -> TaskNode:
         taskclass = self.script.taskclass_of(decl)
@@ -364,6 +492,7 @@ class InstanceTree:
     ) -> WorkflowEvent:
         producer = local_name or node.local_name
         event = scope.publish(producer, kind, name, objects)
+        HOTPATH_STATS.publishes += 1
         self.log.record(self.now(), scope.path, node.path, event)
         self._pending.append((scope, producer, event))
         return event
@@ -381,12 +510,25 @@ class InstanceTree:
             scope, _producer, event = self._pending.popleft()
             owner = self._scope_owner(scope)
             if owner is not None:
-                # inner-scope event: offer to interested constituents and the
-                # owner's output watchers (routing index keeps this sparse)
-                for child in list(owner.routing.get(event.producer, ())):
-                    if child.alive and child.machine.state is TaskState.WAIT:
-                        child.tracker.offer(event)
-                        self._enqueue_if_ready(child)
+                if self.use_plan:
+                    # compiled firing table: touch only consumers with a slot
+                    # this exact (producer, kind, name) event can advance;
+                    # consumers are in child-declaration order, the same
+                    # order the interpretive index offers in (skipped ones
+                    # would have been no-op offers)
+                    key = (event.producer, event.kind, event.name)
+                    for child in owner.plan_routing.get(key, ()):
+                        if child.alive and child.machine.state is TaskState.WAIT:
+                            child.tracker.offer(event)
+                            self._enqueue_if_ready(child)
+                else:
+                    # inner-scope event: offer to interested constituents and
+                    # the owner's output watchers (routing index keeps this
+                    # sparse)
+                    for child in list(owner.routing.get(event.producer, ())):
+                        if child.alive and child.machine.state is TaskState.WAIT:
+                            child.tracker.offer(event)
+                            self._enqueue_if_ready(child)
                 self._evaluate_outputs(owner, event)
             else:
                 # root scope: only the root listens (self-references included)
@@ -424,19 +566,23 @@ class InstanceTree:
         priority level).  Returns None when nothing is ready."""
         with self.lock:
             self._pump()
-            if not self._ready:
-                return None
-            best_index = max(
-                range(len(self._ready)), key=lambda i: (self._ready[i].priority(), -i)
-            )
-            # deque rotation to pop an arbitrary index
-            self._ready.rotate(-best_index)
-            node = self._ready.popleft()
-            self._ready.rotate(best_index)
-            node.queued = False
-            if node.ready() is None:  # stale (ancestor terminated meanwhile)
-                return self.take_ready()
-            return node
+            # loop, not recursion: a wide fan-out whose ancestor terminated
+            # mid-flight leaves thousands of stale nodes queued, and popping
+            # each one recursively would blow the stack (RecursionError)
+            while self._ready:
+                best_index = max(
+                    range(len(self._ready)),
+                    key=lambda i: (self._ready[i].priority(), -i),
+                )
+                # deque rotation to pop an arbitrary index
+                self._ready.rotate(-best_index)
+                node = self._ready.popleft()
+                self._ready.rotate(best_index)
+                node.queued = False
+                if node.ready() is None:  # stale (ancestor terminated meanwhile)
+                    continue
+                return node
+            return None
 
     def drain_ready(self, limit: Optional[int] = None) -> List[TaskNode]:
         """Pop every currently-ready simple task (priority order), up to
@@ -606,8 +752,15 @@ class InstanceTree:
         if compound.machine.state is not TaskState.EXECUTING:
             return
         decl = compound.compound_decl
-        for binding, watcher in zip(decl.outputs, compound.output_watchers):
-            watcher.offer(event)
+        if self.use_plan and compound.watcher_routing is not None:
+            # firing table for the output mappings: only watchers with a slot
+            # fed by this exact event are touched
+            key = (event.producer, event.kind, event.name)
+            for position in compound.watcher_routing.get(key, ()):
+                compound.output_watchers[position].offer(event)
+        else:
+            for binding, watcher in zip(decl.outputs, compound.output_watchers):
+                watcher.offer(event)
         # marks first (they do not terminate), then repeat, then terminal
         self._emit_satisfied_outputs(compound, OutputKind.MARK)
         if compound.machine.state is not TaskState.EXECUTING:
@@ -699,6 +852,16 @@ class InstanceTree:
             self.script = new_script
             for action in plan:
                 action()
+            if self.use_plan:
+                # Recompile every live scope: a decl change anywhere can alter
+                # the event vocabulary siblings were compiled against (e.g. a
+                # compound's output mappings feed its siblings' firing
+                # tables).  Scope histories are folded into the vocabulary,
+                # so replayed trackers cannot lose past matches.
+                self._compile_root_plan()
+                for node in self.walk():
+                    if isinstance(node, CompoundNode) and node.alive:
+                        node._recompile_plan()
             self._pump()
 
     def _plan_reconfigure(
@@ -763,14 +926,8 @@ class InstanceTree:
                 plan.append(grow)
             if new_decl.outputs != node.compound_decl.outputs:
 
-                def rewatch(c: CompoundNode = node, d: CompoundTaskDecl = new_decl) -> None:
-                    preserved = c.emitted_outputs
-                    c.output_watchers = [
-                        TaskInputTracker([_watch_binding(b)]) for b in d.outputs
-                    ]
-                    c.emitted_outputs = preserved
-                    for event in c.inner_scope.events:
-                        for watcher in c.output_watchers:
-                            watcher.offer(event)
+                def rewatch(c: CompoundNode = node) -> None:
+                    # c.decl is already the new decl (update_decl ran first)
+                    c._rebuild_watchers()
 
                 plan.append(rewatch)

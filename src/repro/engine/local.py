@@ -22,6 +22,7 @@ from ..core.values import ObjectRef
 from .context import PendingExternal, TaskContext, TaskResult, coerce_objects
 from .events import EventLog, WorkflowResult, WorkflowStatus
 from .instance import InstanceTree, TaskNode
+from .plan import ExecutionPlan
 from .registry import ImplementationRegistry, ScriptBinding
 
 
@@ -59,15 +60,20 @@ class LocalWorkflow:
         default_retries: int = 3,
         max_repeats: int = 1000,
         max_steps: int = 100_000,
+        use_plan: bool = True,
+        plan: Optional[ExecutionPlan] = None,
     ) -> None:
         self.registry = registry
         self.max_steps = max_steps
         self.steps = 0
+        self.use_plan = use_plan
         self.tree = InstanceTree(
             script,
             root_task,
             default_retries=default_retries,
             max_repeats=max_repeats,
+            use_plan=use_plan,
+            plan=plan,
         )
 
     # -- control ---------------------------------------------------------------
@@ -250,6 +256,7 @@ class LocalWorkflow:
             binding.task_name,
             self.registry,
             max_steps=remaining,
+            use_plan=self.use_plan,
         )
         try:
             sub.start({name: ref for name, ref in inputs.items()}, input_set)
@@ -324,11 +331,13 @@ class LocalEngine:
         default_retries: int = 3,
         max_repeats: int = 1000,
         max_steps: int = 100_000,
+        use_plan: bool = True,
     ) -> None:
         self.registry = registry or ImplementationRegistry()
         self.default_retries = default_retries
         self.max_repeats = max_repeats
         self.max_steps = max_steps
+        self.use_plan = use_plan
 
     def workflow(
         self,
@@ -359,6 +368,7 @@ class LocalEngine:
             default_retries=self.default_retries,
             max_repeats=self.max_repeats,
             max_steps=self.max_steps,
+            use_plan=self.use_plan,
         )
 
     def run(

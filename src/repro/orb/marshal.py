@@ -44,14 +44,32 @@ def marshal(value: Any, _depth: int = 0) -> Any:
     if isinstance(value, _PRIMITIVES):
         return value
     if isinstance(value, (list, tuple)):
+        cls = type(value)
         copied = [marshal(v, _depth + 1) for v in value]
-        return type(value)(copied)
+        if cls in (list, tuple):
+            return cls(copied)
+        if hasattr(cls, "_fields"):
+            # namedtuple-style: the constructor takes the fields positionally,
+            # not a single iterable
+            return cls(*copied)
+        return cls(copied)
     if isinstance(value, (set, frozenset)):
         return type(value)(marshal(v, _depth + 1) for v in value)
     if isinstance(value, dict):
-        return {
+        cls = type(value)
+        copied_items = {
             marshal(k, _depth + 1): marshal(v, _depth + 1) for k, v in value.items()
         }
+        if cls is dict:
+            return copied_items
+        if hasattr(value, "__marshal__") and cls in _TRANSFERABLE:
+            state = marshal(value.__marshal__(), _depth + 1)
+            return cls.__unmarshal__(state)
+        if cls in _TRANSFERABLE:
+            # registered dict subclass: preserve the type instead of silently
+            # decaying to a plain dict
+            return cls(copied_items)
+        return copied_items
     cls = type(value)
     if cls in _TRANSFERABLE:
         if hasattr(value, "__marshal__"):

@@ -1,7 +1,10 @@
 """Additional coverage for ORB marshalling protocols: transferable
-dataclasses and the __marshal__/__unmarshal__ hook."""
+dataclasses, the __marshal__/__unmarshal__ hook, and structural copies of
+tuple/dict subclasses (namedtuples and registered containers)."""
 
+import collections
 import dataclasses
+import typing
 
 import pytest
 
@@ -64,6 +67,65 @@ class TestMarshalProtocol:
 
         with pytest.raises(MarshalError):
             marshal([Opaque()])
+
+
+Point = collections.namedtuple("Point", ["x", "y"])
+
+
+class TypedPoint(typing.NamedTuple):
+    x: int
+    payload: list
+
+
+@transferable
+class Headers(dict):
+    """Registered dict subclass: the subclass type must survive the copy."""
+
+
+class AnonymousBag(dict):
+    """Unregistered dict subclass: decays to a plain dict on the far side."""
+
+
+class TestTupleSubclasses:
+    def test_namedtuple_deep_copy(self):
+        """Regression: namedtuple constructors take fields positionally, so
+        ``type(value)(copied_list)`` raised TypeError (missing arguments)."""
+        original = Point(1, [2, 3])
+        copy = marshal(original)
+        assert type(copy) is Point
+        assert copy == original
+        copy.y.append(4)
+        assert original.y == [2, 3]
+
+    def test_typing_namedtuple_deep_copy(self):
+        original = TypedPoint(7, ["a"])
+        copy = marshal(original)
+        assert type(copy) is TypedPoint
+        assert copy == original
+        assert copy.payload is not original.payload
+
+    def test_namedtuple_nested_in_containers(self):
+        data = {"points": (Point(0, []), Point(1, []))}
+        copy = marshal(data)
+        assert copy == data
+        assert type(copy["points"][0]) is Point
+
+
+class TestDictSubclasses:
+    def test_registered_subclass_type_preserved(self):
+        """Regression: registered dict subclasses silently decayed to plain
+        dicts because the dict branch never consulted the registry."""
+        original = Headers({"a": [1]})
+        copy = marshal(original)
+        assert type(copy) is Headers
+        assert copy == {"a": [1]}
+        copy["a"].append(2)
+        assert original["a"] == [1]
+
+    def test_unregistered_subclass_decays_to_plain_dict(self):
+        copy = marshal(AnonymousBag({"k": "v"}))
+        assert type(copy) is dict
+        assert copy == {"k": "v"}
 
 
 class TestMarshalCall:

@@ -1,0 +1,70 @@
+"""Differential property tests: the compiled-plan engine path must produce a
+byte-identical event log to the interpretive path on every compilable script.
+
+Two script families drive the comparison: random DAGs from the workload
+generators (structural diversity: fan-in alternatives, notification edges,
+varying depth) and the adversarial ``Wild`` chain from
+``test_properties_engine`` (behavioural diversity: aborts, repeats, crash
+retries — the paths where trackers are reset and replayed)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import LocalEngine
+from repro.workloads import generators
+
+from tests.test_properties_engine import adversarial_script, behaviours, make_registry
+
+settings.register_profile("repro-plan-diff", deadline=None)
+settings.load_profile("repro-plan-diff")
+
+
+def canonical_log(log):
+    return [
+        (
+            entry.seq,
+            entry.time,
+            entry.scope_path,
+            entry.producer_path,
+            entry.event.producer,
+            entry.event.kind.value,
+            entry.event.name,
+            entry.event.seq,
+            tuple(
+                (name, ref.class_name, ref.value, ref.produced_by, ref.via)
+                for name, ref in entry.event.objects.items()
+            ),
+        )
+        for entry in log.entries
+    ]
+
+
+def run_both(script, registry, root, inputs):
+    plan_run = LocalEngine(registry, use_plan=True, max_repeats=10, max_steps=5_000).run(
+        script, root, inputs=inputs
+    )
+    interp_run = LocalEngine(
+        registry, use_plan=False, max_repeats=10, max_steps=5_000
+    ).run(script, root, inputs=inputs)
+    return plan_run, interp_run
+
+
+@given(st.integers(2, 16), st.integers(1, 3), st.integers(0, 1_000))
+def test_random_dags_byte_identical(n, max_deps, seed):
+    script, registry, root, inputs = generators.random_dag(n, max_deps=max_deps, seed=seed)
+    plan_run, interp_run = run_both(script, registry, root, inputs)
+    assert canonical_log(plan_run.log) == canonical_log(interp_run.log)
+    assert plan_run.status == interp_run.status
+    assert plan_run.outcome == interp_run.outcome
+
+
+@given(st.integers(1, 5), st.lists(behaviours, min_size=1, max_size=5))
+def test_adversarial_chains_byte_identical(n, plans):
+    """Aborts, repeats and crashes exercise tracker reset/replay; the plan
+    path must fold the identical history to the identical state."""
+    script = adversarial_script(n)
+    registry = make_registry(n, plans)
+    plan_run, interp_run = run_both(script, registry, None, {"inp": "s"})
+    assert canonical_log(plan_run.log) == canonical_log(interp_run.log)
+    assert plan_run.status == interp_run.status
+    assert plan_run.outcome == interp_run.outcome
+    assert plan_run.stats["steps"] == interp_run.stats["steps"]

@@ -1,0 +1,74 @@
+"""Regressions for the instance-tree ready queue: stale-node draining must
+not recurse (RecursionError on wide fan-outs) and claimed nodes must be
+released when an ancestor terminates underneath them."""
+
+import sys
+
+import pytest
+
+from repro.engine.local import LocalWorkflow
+from repro.engine.registry import ImplementationRegistry
+from repro.workloads import generators
+
+
+def fan_workflow(width, use_plan=True):
+    script, registry, root, inputs = generators.fan(width)
+    wf = LocalWorkflow(script, root, registry, use_plan=use_plan)
+    wf.start(inputs)
+    assert wf.step()  # run the source; all width workers become ready
+    return wf
+
+
+class TestTakeReadyIsIterative:
+    @pytest.mark.parametrize("use_plan", [True, False], ids=["plan", "interpretive"])
+    def test_wide_fanout_of_stale_nodes(self, use_plan):
+        """Abort the root while ~2000 workers sit in the ready queue: every
+        queued node is stale, and take_ready must skip them all in one call
+        without growing the stack per node."""
+        wf = fan_workflow(2000, use_plan=use_plan)
+        assert len(wf.tree.peek_ready()) == 2000
+        wf.tree.node_at("fan").deactivate()
+        limit = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(400)  # far below the stale-queue depth
+            assert wf.tree.take_ready() is None
+        finally:
+            sys.setrecursionlimit(limit)
+        assert not wf.tree._ready
+
+    def test_stale_prefix_does_not_starve_live_node(self):
+        """A live ready node behind a pile of stale ones is still returned."""
+        wf = fan_workflow(50)
+        workers = wf.tree.peek_ready()
+        for node in workers[:-1]:
+            node.deactivate()  # stale, still queued
+        got = wf.tree.take_ready()
+        assert got is workers[-1]
+
+
+class TestDrainClaimRelease:
+    def test_root_termination_unclaims_drained_nodes(self):
+        """drain_ready claims nodes; a terminating ancestor must release
+        those claims so nothing stays claimed-forever on a dead subtree."""
+        wf = fan_workflow(4)
+        drained = wf.tree.drain_ready()
+        assert len(drained) == 4 and all(n.claimed for n in drained)
+        wf.tree.node_at("fan").deactivate()
+        assert all(not n.claimed for n in drained)
+        assert wf.tree.drain_ready() == []
+        for node in drained:
+            assert wf.tree.try_begin_execution(node) is None
+            assert not node.claimed
+
+    def test_repeat_releases_claims_in_subtree(self):
+        """The same release applies when a compound repeats (children are
+        deactivated and rebuilt) rather than terminating."""
+        script, registry, root, inputs = generators.fan(3)
+        wf = LocalWorkflow(script, root, registry)
+        wf.start(inputs)
+        assert wf.step()
+        drained = wf.tree.drain_ready()
+        assert drained and all(n.claimed for n in drained)
+        for node in drained:
+            node.deactivate()
+        assert all(not n.claimed for n in drained)
