@@ -11,6 +11,19 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+import pytest
+
+from repro.core.selection import HOTPATH_STATS
+
+
+@pytest.fixture(autouse=True)
+def _reset_hotpath_stats():
+    """Isolate the process-global hot-path counters per benchmark: a prior
+    test's publishes/source_evals must not skew eval-reduction ratios."""
+    HOTPATH_STATS.reset()
+    yield
+    HOTPATH_STATS.reset()
+
 
 def report(title: str, header: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
     """Print one experiment's result table."""

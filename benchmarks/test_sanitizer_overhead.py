@@ -1,0 +1,77 @@
+"""Sanitizer overhead: the dynamic race/lockset observer must stay cheap.
+
+Two claims backing ``docs/ANALYSIS.md``:
+
+* **disabled = free**: an unsanitized engine carries no hooks at all — the
+  instance tree's ``_publish``/``_start_node`` are the pristine class
+  methods, so the default path pays zero branches for the feature;
+* **enabled <= 2x**: with vector clocks and the access history threaded
+  through every publish/start, the fan-heavy hotpath workload slows down by
+  at most 2x.
+
+Writes the measured ratio to ``BENCH_sanitizer.json`` (override with the
+``BENCH_SANITIZER`` environment variable).
+"""
+
+import json
+import os
+import time
+
+from repro.analysis import Sanitizer
+from repro.engine import LocalEngine, LocalWorkflow
+from repro.engine.instance import InstanceTree
+from repro.workloads import fan
+
+from .conftest import report
+
+
+def measure(sanitized, repeats=5):
+    script, registry, root, inputs = fan(64)
+    best = None
+    for _ in range(repeats):
+        engine = LocalEngine(
+            registry, sanitizer=Sanitizer() if sanitized else None
+        )
+        begin = time.perf_counter()
+        result = engine.run(script, root, inputs=inputs)
+        elapsed = time.perf_counter() - begin
+        assert result.completed, result.status
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def test_disabled_sanitizer_installs_no_hooks():
+    script, registry, root, inputs = fan(8)
+    wf = LocalWorkflow(script, root, registry)
+    assert wf.tree._publish.__func__ is InstanceTree._publish
+    assert wf.tree._start_node.__func__ is InstanceTree._start_node
+
+
+def test_sanitizer_overhead_within_budget():
+    plain_s = measure(sanitized=False)
+    sanitized_s = measure(sanitized=True)
+    ratio = sanitized_s / plain_s
+    report(
+        "sanitizer overhead on fan(64)",
+        ["mode", "best wall s", "ratio"],
+        [
+            ("plain", f"{plain_s:.4f}", "1.00"),
+            ("sanitized", f"{sanitized_s:.4f}", f"{ratio:.2f}"),
+        ],
+    )
+    out = os.environ.get("BENCH_SANITIZER", "BENCH_sanitizer.json")
+    with open(out, "w") as fh:
+        json.dump(
+            {
+                "workload": "fan64",
+                "plain_wall_s": round(plain_s, 6),
+                "sanitized_wall_s": round(sanitized_s, 6),
+                "overhead_ratio": round(ratio, 3),
+                "budget": 2.0,
+            },
+            fh,
+            indent=2,
+            sort_keys=True,
+        )
+    print(f"   wrote {out}")
+    assert ratio <= 2.0, f"sanitizer overhead {ratio:.2f}x exceeds the 2x budget"

@@ -8,7 +8,7 @@ and never executes task code (contrast :mod:`repro.core.analysis`, which
 explores behaviour by running the real engine against synthetic
 implementations — the two cross-check each other in ``repro analyze``).
 
-Three checkers, one unified report:
+Five checkers, one unified report:
 
 * :mod:`repro.analysis.typeflow` (``E1xx``) — every alternative source of
   every input checked against the producing output's declared object class,
@@ -18,7 +18,20 @@ Three checkers, one unified report:
   statically unreachable;
 * :mod:`repro.analysis.interference` (``W3xx``) — pairs of tasks that may be
   simultaneously enabled under the concurrent engine and touch the same
-  object reference: races the instance-tree lock cannot see.
+  object reference: races the instance-tree lock cannot see;
+* :mod:`repro.analysis.recovery` (``W401``/``E402``/``W404``) — bare (non
+  transactional) effects reachable under at-least-once dispatch, abort
+  paths that cannot compensate committed sibling effects, and degenerate
+  deadlines;
+* :mod:`repro.analysis.lockorder` (``E403``) — potential strict-2PL
+  deadlocks: simultaneously-enabled atomic tasks locking shared objects in
+  opposite declaration order.
+
+The static passes are may-analyses: they over-approximate the engine.  The
+runtime sanitizer (:mod:`repro.analysis.dynamic`) watches real executions
+(vector clocks, locksets, worker execution ledgers) and checks the
+containment — every dynamic race/inversion/duplicate-effect must be
+predicted by a static ``W301``/``E403``/``W401`` finding.
 
 Legacy lint diagnostics (``W0xx``, :mod:`repro.lang.linter`) are merged into
 the same report; every code lives in the central
@@ -35,9 +48,12 @@ from __future__ import annotations
 from typing import Optional
 
 from ..core.schema import Script
+from .dynamic import DynamicFinding, Sanitizer, sanitized_exploration
 from .findings import Finding, Severity, StaticReport
 from .interference import check_interference
 from .liveness import LivenessResult, check_liveness
+from .lockorder import check_lockorder
+from .recovery import check_recovery
 from .registry import DIAGNOSTICS, DiagnosticRegistry, DiagnosticSpec
 from .sarif import to_sarif
 from .sources import iter_embedded_scripts, load_scripts
@@ -68,6 +84,8 @@ def analyze_script(
         liveness = check_liveness(script, root_task=root_task, input_set=input_set)
         findings.extend(liveness.findings)
         findings.extend(check_interference(script, liveness))
+        findings.extend(check_recovery(script, liveness))
+        findings.extend(check_lockorder(script, liveness))
     if include_lint:
         from ..lang.linter import lint_script
 
@@ -90,13 +108,18 @@ __all__ = [
     "DIAGNOSTICS",
     "DiagnosticRegistry",
     "DiagnosticSpec",
+    "DynamicFinding",
     "Finding",
     "LivenessResult",
+    "Sanitizer",
     "Severity",
     "StaticReport",
     "analyze_script",
+    "sanitized_exploration",
     "check_interference",
     "check_liveness",
+    "check_lockorder",
+    "check_recovery",
     "check_typeflow",
     "iter_embedded_scripts",
     "load_scripts",

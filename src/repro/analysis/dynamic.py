@@ -1,0 +1,488 @@
+"""Runtime sanitizer: the dynamic half of the recovery/concurrency analysis.
+
+The static passes (:mod:`repro.analysis.interference`,
+:mod:`repro.analysis.recovery`, :mod:`repro.analysis.lockorder`) are
+*may*-analyses — they over-approximate what the engine can do.  This module
+watches what the engine actually *does* and checks the containment the
+analyzer promises: **every dynamic finding must be predicted by a static
+one** (dynamic ⊆ static).  A dynamic finding with no static counterpart is
+an analyzer bug, and ``repro analyze --sanitize`` / ``repro sanitize`` exit
+non-zero on it.
+
+Three detectors, one :class:`Sanitizer`:
+
+* **races** (dynamic ``W301``) — vector clocks threaded through the
+  instance tree.  A task's clock is the join of its parent compound's
+  clock and the clocks of every event its chosen input set matched, plus
+  one tick of its own; events are stamped with their publisher's clock.
+  Two tasks that start with *incomparable* clocks while holding the same
+  object reference (same provenance token) raced on it.
+* **lock inversions and deadlocks** (dynamic ``E403``) — locksets threaded
+  through :class:`~repro.txn.locks.LockManager`.  Acquisition-order edges
+  are recorded per transaction; an AB-BA pair of edges from two different
+  tasks is an inversion, and a runtime ``DeadlockError`` is the same
+  finding caught the hard way.
+* **duplicate effects** (dynamic ``W401``) — no hooks at all: the
+  :class:`~repro.services.worker.TaskWorker` execution ledger is scanned
+  after the run for ``(instance, path, execution_index)`` triples executed
+  more than once.  A duplicate on a non-atomic task is a bare effect
+  applied twice (the journal deduplicates only the reply).
+
+The sanitizer attaches by *instance-level method wrapping* — it replaces
+bound methods on one tree / one lock manager.  Unsanitized runs execute
+the original methods with zero added branches, which is what keeps the
+"0 overhead when disabled" guarantee honest.
+
+All tree hooks run under the instance-tree lock, so the clock tables need
+no locking of their own; the lock-manager hooks piggyback on the manager's
+callers the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.schema import CompoundTaskDecl, Script, TaskClass
+from ..core.selection import source_matches
+from ..core.values import ObjectRef
+from ..txn.locks import DeadlockError, LockManager, LockMode
+from .findings import StaticReport
+
+#: provenance token identifying one shared object reference: producer,
+#: producing outcome/input set, class, and the name the producer published
+#: it under — the same granularity as the static analysis's origins, which
+#: distinguish sibling objects of one event (and distinct environment
+#: inputs) by name
+AccessToken = Tuple[Optional[str], Optional[str], str, Optional[str]]
+
+
+class VectorClock:
+    """A plain path→counter vector clock (mutable, copy-on-share)."""
+
+    __slots__ = ("clock",)
+
+    def __init__(self, clock: Optional[Dict[str, int]] = None) -> None:
+        self.clock: Dict[str, int] = dict(clock) if clock else {}
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self.clock)
+
+    def join(self, other: Optional["VectorClock"]) -> None:
+        if other is None:
+            return
+        for path, tick in other.clock.items():
+            if tick > self.clock.get(path, 0):
+                self.clock[path] = tick
+
+    def increment(self, path: str) -> None:
+        self.clock[path] = self.clock.get(path, 0) + 1
+
+    def leq(self, other: "VectorClock") -> bool:
+        return all(tick <= other.clock.get(path, 0) for path, tick in self.clock.items())
+
+    def concurrent(self, other: "VectorClock") -> bool:
+        # single pass over both clocks (this runs O(accesses^2) per token
+        # on fan-heavy workloads, so it is the sanitizer's hottest loop)
+        mine, theirs = self.clock, other.clock
+        self_ahead = other_ahead = False
+        get = theirs.get
+        for path, tick in mine.items():
+            delta = tick - get(path, 0)
+            if delta > 0:
+                if other_ahead:
+                    return True
+                self_ahead = True
+            elif delta < 0:
+                if self_ahead:
+                    return True
+                other_ahead = True
+        if self_ahead and not other_ahead:
+            get = mine.get
+            for path, tick in theirs.items():
+                if tick > get(path, 0):
+                    return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VC({self.clock!r})"
+
+
+@dataclass(frozen=True)
+class DynamicFinding:
+    """One runtime observation, tagged with the static code that must
+    predict it."""
+
+    kind: str                    # "race" | "lock-inversion" | "deadlock" | "duplicate-effect"
+    code: str                    # the static code expected to cover it
+    subjects: Tuple[str, ...]    # task paths involved (sorted)
+    detail: str
+
+    def render(self) -> str:
+        return f"[{self.kind} -> {self.code}] {' <-> '.join(self.subjects)}: {self.detail}"
+
+
+class Sanitizer:
+    """Vector-clock / lockset observer for one (or several) engine runs.
+
+    Attach with :meth:`attach_tree` / :meth:`attach_locks`, run the
+    workflow, then read :attr:`findings` (plus :meth:`scan_workers` for
+    duplicate effects) and gate with :meth:`check_coverage`.
+    """
+
+    def __init__(self) -> None:
+        self.findings: List[DynamicFinding] = []
+        self._node_vc: Dict[str, VectorClock] = {}
+        self._event_vc: Dict[Tuple[str, int], VectorClock] = {}
+        self._accesses: Dict[AccessToken, List[Tuple[str, VectorClock]]] = {}
+        # ref -> (name it was published under, publisher's clock); keyed by
+        # id() but holding the ref itself so the id cannot be recycled while
+        # the entry lives
+        self._ref_names: Dict[int, Tuple[ObjectRef, str, VectorClock]] = {}
+        self._race_details: Dict[AccessToken, str] = {}
+        self._race_pairs: Set[Tuple[str, str]] = set()
+        # lock bookkeeping
+        self._txn_paths: Dict[str, str] = {}
+        self._held_order: Dict[str, List[str]] = {}
+        self._lock_edges: Dict[Tuple[str, str], Set[str]] = {}
+        self._reported_inversions: Set[FrozenSet[str]] = set()
+        self._reported_duplicates: Set[Tuple[str, str, int]] = set()
+        self.trees_attached = 0
+        self.managers_attached = 0
+
+    # -- instance-tree hooks (races) ----------------------------------------------
+
+    def attach_tree(self, tree) -> None:
+        """Wrap ``tree._publish`` and ``tree._start_node`` in place."""
+        original_publish = tree._publish
+        original_start = tree._start_node
+        sanitizer = self
+
+        def publish(scope, node, kind, name, objects, local_name=None):
+            event = original_publish(
+                scope, node, kind, name, objects, local_name=local_name
+            )
+            vc = sanitizer._node_vc.get(node.path)
+            stamped = vc.copy() if vc is not None else VectorClock()
+            sanitizer._event_vc[(scope.path, event.seq)] = stamped
+            for obj_name, ref in objects.items():
+                if isinstance(ref, ObjectRef):
+                    sanitizer._ref_names.setdefault(
+                        id(ref), (ref, obj_name, stamped)
+                    )
+            return event
+
+        def start_node(node, input_set, inputs):
+            sanitizer._on_start(node, input_set, inputs)
+            original_start(node, input_set, inputs)
+
+        tree._publish = publish
+        tree._start_node = start_node
+        self.trees_attached += 1
+
+    def _on_start(
+        self, node, input_set: str, inputs: Mapping[str, ObjectRef]
+    ) -> None:
+        vc = VectorClock()
+        if node.parent is not None:
+            vc.join(self._node_vc.get(node.parent.path))
+        # object bindings: join the publisher clocks of the refs actually
+        # consumed (exact dataflow ordering, no event scan)
+        ref_names = self._ref_names
+        for ref in inputs.values():
+            entry = ref_names.get(id(ref))
+            if entry is not None and entry[0] is ref:
+                vc.join(entry[2])
+        # notification bindings never surface a ref in the chosen inputs, so
+        # recover their ordering by matching the scope history (rare path —
+        # most bindings carry only objects)
+        binding = next(
+            (b for b in node.decl.input_sets if b.name == input_set), None
+        )
+        if binding is not None and binding.notifications:
+            by_producer: Dict[str, List] = {}
+            for notif in binding.notifications:
+                for s in notif.sources:
+                    by_producer.setdefault(s.task_name, []).append(s)
+            scope = node.outer_scope
+            event_vc = self._event_vc
+            for event in list(scope.events):
+                candidates = by_producer.get(event.producer)
+                if candidates and any(
+                    source_matches(s, event) for s in candidates
+                ):
+                    vc.join(event_vc.get((scope.path, event.seq)))
+        vc.increment(node.path)
+        self._node_vc[node.path] = vc
+        if not node.is_compound:
+            self._record_accesses(node.path, vc, inputs)
+
+    def _record_accesses(
+        self, path: str, vc: VectorClock, inputs: Mapping[str, ObjectRef]
+    ) -> None:
+        ref_names = self._ref_names
+        accesses = self._accesses
+        race_pairs = self._race_pairs
+        findings = self.findings
+        for ref in inputs.values():
+            if not isinstance(ref, ObjectRef) or ref.class_name == "<notification>":
+                continue
+            named = ref_names.get(id(ref))
+            produced_as = named[1] if named is not None and named[0] is ref else None
+            token: AccessToken = (
+                ref.produced_by, ref.via, ref.class_name, produced_as,
+            )
+            history = accesses.setdefault(token, [])
+            for other_path, other_vc in history:
+                if other_path == path:
+                    continue
+                pair = (
+                    (other_path, path) if other_path < path else (path, other_path)
+                )
+                if pair in race_pairs:
+                    continue
+                if vc.concurrent(other_vc):
+                    race_pairs.add(pair)
+                    detail = self._race_details.get(token)
+                    if detail is None:
+                        detail = (
+                            f"both held {token[2]} produced by "
+                            f"{token[0]}.{token[1]} with incomparable "
+                            "vector clocks"
+                        )
+                        self._race_details[token] = detail
+                    findings.append(
+                        DynamicFinding(
+                            kind="race",
+                            code="W301",
+                            subjects=pair,
+                            detail=detail,
+                        )
+                    )
+            history.append((path, vc))
+
+    # -- lock-manager hooks (inversions, deadlocks) --------------------------------
+
+    def bind_txn(self, txn: str, task_path: str) -> None:
+        """Name the task on whose behalf ``txn`` acquires locks — the
+        subject reported for that transaction's inversions/deadlocks."""
+        self._txn_paths[txn] = task_path
+
+    def _subject(self, txn: str) -> str:
+        return self._txn_paths.get(txn, txn)
+
+    def attach_locks(self, manager: LockManager) -> None:
+        """Wrap ``try_acquire``/``acquire``/``transfer_all``/``release_all``
+        on ``manager`` in place."""
+        original_try = manager.try_acquire
+        original_acquire = manager.acquire
+        original_transfer = manager.transfer_all
+        original_release = manager.release_all
+        sanitizer = self
+
+        def try_acquire(txn: str, obj: str, mode: LockMode = LockMode.EXCLUSIVE) -> bool:
+            sanitizer._note_attempt(txn, obj)
+            granted = original_try(txn, obj, mode)
+            if granted:
+                sanitizer._note_granted(txn, obj)
+            return granted
+
+        def acquire(txn: str, obj: str, mode: LockMode = LockMode.EXCLUSIVE, wait: bool = False):
+            try:
+                return original_acquire(txn, obj, mode, wait)
+            except DeadlockError as error:
+                sanitizer._note_deadlock(error)
+                raise
+
+        def transfer_all(child: str, parent: str) -> None:
+            held = sanitizer._held_order.pop(child, [])
+            order = sanitizer._held_order.setdefault(parent, [])
+            order.extend(obj for obj in held if obj not in order)
+            original_transfer(child, parent)
+
+        def release_all(txn: str):
+            sanitizer._held_order.pop(txn, None)
+            return original_release(txn)
+
+        manager.try_acquire = try_acquire
+        manager.acquire = acquire
+        manager.transfer_all = transfer_all
+        manager.release_all = release_all
+        self.managers_attached += 1
+
+    def _note_attempt(self, txn: str, obj: str) -> None:
+        subject = self._subject(txn)
+        for held in self._held_order.get(txn, []):
+            if held == obj:
+                continue
+            self._lock_edges.setdefault((held, obj), set()).add(subject)
+            inverse = self._lock_edges.get((obj, held), set())
+            for other in inverse:
+                if other == subject:
+                    continue
+                pair = frozenset((subject, other))
+                if pair in self._reported_inversions:
+                    continue
+                self._reported_inversions.add(pair)
+                self.findings.append(
+                    DynamicFinding(
+                        kind="lock-inversion",
+                        code="E403",
+                        subjects=tuple(sorted(pair)),
+                        detail=(
+                            f"observed lock orders {held!r}->{obj!r} and "
+                            f"{obj!r}->{held!r} on the same two objects"
+                        ),
+                    )
+                )
+
+    def _note_granted(self, txn: str, obj: str) -> None:
+        order = self._held_order.setdefault(txn, [])
+        if obj not in order:
+            order.append(obj)
+
+    def _note_deadlock(self, error: DeadlockError) -> None:
+        involved = set(error.cycle) | {error.txn}
+        subjects = tuple(sorted({self._subject(txn) for txn in involved}))
+        self.findings.append(
+            DynamicFinding(
+                kind="deadlock",
+                code="E403",
+                subjects=subjects,
+                detail=f"LockManager waits-for cycle: {' -> '.join(error.cycle)}",
+            )
+        )
+
+    # -- duplicate effects (worker ledger scan) ------------------------------------
+
+    def scan_workers(self, workers: Sequence, script: Script) -> None:
+        """Scan :attr:`TaskWorker.executed` ledgers for task executions the
+        at-least-once dispatch ran more than once; duplicates on non-atomic
+        tasks are bare effects applied twice (dynamic ``W401``)."""
+        counts: Dict[Tuple[str, str, int], int] = {}
+        for worker in workers:
+            for triple in getattr(worker, "executed", []):
+                counts[triple] = counts.get(triple, 0) + 1
+        for triple, count in sorted(counts.items()):
+            if count < 2 or triple in self._reported_duplicates:
+                continue
+            instance, path, index = triple
+            taskclass = _taskclass_at(script, path)
+            if taskclass is None or taskclass.is_atomic:
+                continue  # transactional effects roll back; not a bare duplicate
+            self._reported_duplicates.add(triple)
+            self.findings.append(
+                DynamicFinding(
+                    kind="duplicate-effect",
+                    code="W401",
+                    subjects=(path,),
+                    detail=(
+                        f"execution #{index} of {path!r} (instance "
+                        f"{instance!r}) ran {count} times across workers"
+                    ),
+                )
+            )
+
+    # -- the containment check -----------------------------------------------------
+
+    def check_coverage(self, report: StaticReport) -> List[DynamicFinding]:
+        """Dynamic findings with **no** static counterpart (must be empty —
+        anything returned is an analyzer bug, not an application bug)."""
+        by_code: Dict[str, List] = {}
+        for finding in report.findings:
+            by_code.setdefault(finding.code, []).append(finding)
+        uncovered: List[DynamicFinding] = []
+        for dyn in self.findings:
+            if not any(_covers(stat, dyn) for stat in by_code.get(dyn.code, [])):
+                uncovered.append(dyn)
+        return uncovered
+
+    def render(self) -> List[str]:
+        return [finding.render() for finding in self.findings]
+
+
+def _covers(static_finding, dyn: DynamicFinding) -> bool:
+    """Does one static finding predict one dynamic observation?"""
+    subjects = set(dyn.subjects)
+    if dyn.kind == "duplicate-effect":
+        return static_finding.location in subjects
+    related = set(static_finding.related)
+    if not related:
+        return False
+    if dyn.kind == "race":
+        return related == subjects
+    # lock-inversion / deadlock: the static pair must lie on the observed
+    # cycle (longer cycles list more than two subjects)
+    return related <= subjects
+
+
+def sanitized_exploration(
+    script: Script,
+    root_task: Optional[str] = None,
+    input_set: str = "main",
+    analysis=None,
+    parallelism: int = 4,
+    repeats: int = 3,
+    sanitizer: Optional[Sanitizer] = None,
+) -> Sanitizer:
+    """Re-run the outcome explorer's witness assignments under a sanitized
+    concurrent engine.
+
+    :func:`repro.core.analysis.analyze_outcomes` already found, for every
+    reachable outcome, one assignment of implementation choices that
+    produces it; this replays each witness ``repeats`` times on the
+    thread-pooled engine with the sanitizer attached, so the dynamic race
+    detector observes real concurrent interleavings of every reachable
+    behaviour.  Returns the sanitizer (accumulating if one is passed in).
+    """
+    from ..core.analysis import _UniversalRegistry, _synthetic_impl, analyze_outcomes
+    from ..core.errors import ExecutionError
+    from ..engine.concurrent import ConcurrentEngine
+
+    if root_task is None:
+        if len(script.tasks) != 1:
+            raise ExecutionError("script has several top-level tasks; name one")
+        root_task = next(iter(script.tasks))
+    if analysis is None:
+        analysis = analyze_outcomes(script, root_task, input_set=input_set)
+    if sanitizer is None:
+        sanitizer = Sanitizer()
+    root_class = script.taskclass_of(script.tasks[root_task])
+    spec = root_class.input_set(input_set)
+    if spec is None and root_class.input_sets:
+        spec = root_class.input_sets[0]
+        input_set = spec.name
+    inputs = (
+        {obj.name: f"<{obj.name}>" for obj in spec.objects} if spec is not None else {}
+    )
+    for choices in analysis.reachable.values():
+        registry = _UniversalRegistry(_synthetic_impl(choices))
+        engine = ConcurrentEngine(
+            registry,
+            default_retries=0,
+            max_repeats=2,
+            parallelism=parallelism,
+            sanitizer=sanitizer,
+        )
+        for _ in range(repeats):
+            engine.run(script, root_task, inputs=inputs, input_set=input_set)
+    return sanitizer
+
+
+def _taskclass_at(script: Script, path: str) -> Optional[TaskClass]:
+    """Resolve a runtime task path (``root/child/...``) to its task class;
+    None when the path does not name a declared task."""
+    parts = [p for p in path.split("/") if p]
+    if not parts:
+        return None
+    decl = script.tasks.get(parts[0])
+    for part in parts[1:]:
+        if not isinstance(decl, CompoundTaskDecl):
+            return None
+        decl = decl.task(part)
+    if decl is None:
+        return None
+    try:
+        return script.taskclass_of(decl)
+    except Exception:
+        return None

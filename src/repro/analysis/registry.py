@@ -207,3 +207,33 @@ DIAGNOSTICS.register(
     "reference; the implementations may race on the shared object, which "
     "the instance-tree lock cannot prevent.",
 )
+
+# -- recovery safety and deadlock (E4xx / W4xx) --------------------------------
+
+DIAGNOSTICS.register(
+    "W401", Severity.WARNING, "bare effects may apply twice",
+    "A reachable non-atomic task's effects are not protected by the "
+    "transaction manager: under at-least-once dispatch (redispatch or "
+    "hedging) the implementation may run twice, and only the journal's "
+    "reply deduplication — not the effects themselves — is exactly-once.",
+)
+DIAGNOSTICS.register(
+    "E402", Severity.ERROR, "uncompensatable abort path",
+    "A compound's abort outcome can fire after an atomic constituent has "
+    "already committed, and no other constituent consumes that "
+    "constituent's committed results: the abort claims no effects "
+    "happened while committed effects stand uncompensated.",
+)
+DIAGNOSTICS.register(
+    "E403", Severity.ERROR, "potential lock-order deadlock",
+    "Two simultaneously-enabled atomic tasks acquire locks on the same "
+    "two (or more) objects in opposite declaration order; under strict "
+    "two-phase locking the runtime can only discover the resulting "
+    "deadlock the hard way (DeadlockError).",
+)
+DIAGNOSTICS.register(
+    "W404", Severity.WARNING, "ineffective or degenerate deadline",
+    "A 'deadline' implementation property that can never arm (the task "
+    "class declares no abort outcome), is silently ignored (not a "
+    "number), or always fires immediately (non-positive delay).",
+)

@@ -82,6 +82,22 @@ def to_sarif(
                 "locations": [location],
             }
             if finding.related:
+                # pair-shaped findings (W301/E402/E403) point at every task
+                # in the pair, so CI annotates *both* ends, not just one
+                result["relatedLocations"] = [
+                    {
+                        "logicalLocations": [
+                            {"fullyQualifiedName": path, "kind": "member"}
+                        ],
+                        **(
+                            {"physicalLocation": {"artifactLocation": {"uri": uri}}}
+                            if uri is not None
+                            else {}
+                        ),
+                        "message": {"text": f"other task in the {finding.code} pair"},
+                    }
+                    for path in finding.related
+                ]
                 result["properties"] = {"related": list(finding.related)}
             results.append(result)
     return {

@@ -107,6 +107,28 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sanitize_check(script, root_task, report, analysis) -> int:
+    """Run the dynamic sanitizer over the explorer's witness assignments and
+    gate on the static-superset guarantee (0 = every dynamic finding is
+    statically predicted, 1 = analyzer bug)."""
+    from .analysis import sanitized_exploration
+
+    sanitizer = sanitized_exploration(script, root_task, analysis=analysis)
+    print()
+    print(f"sanitizer: {len(sanitizer.findings)} dynamic finding(s)")
+    for line in sanitizer.render():
+        print(f"  {line}")
+    uncovered = sanitizer.check_coverage(report)
+    for dyn in uncovered:
+        print(
+            "ANALYZER BUG: dynamic finding has no static counterpart — "
+            f"please report this: {dyn.render()}"
+        )
+    if not uncovered:
+        print("every dynamic finding is statically predicted (dynamic <= static)")
+    return 1 if uncovered else 0
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     from .analysis import analyze_script
 
@@ -114,7 +136,10 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     report = analyze_script(script, root_task=args.task, source_name=args.script)
     if args.static:
         print(report.render_text())
-        return 0 if report.ok else 1
+        code = 0 if report.ok else 1
+        if args.sanitize:
+            code = max(code, _sanitize_check(script, args.task, report, None))
+        return code
 
     # side-by-side: the static may-analysis against the dynamic explorer,
     # which *executes* the workflow under every implementation choice.
@@ -152,7 +177,10 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         )
     if not disagreement:
         print("static and dynamic reachability agree")
-    return 1 if disagreement or analysis.unreachable or not report.ok else 0
+    code = 1 if disagreement or analysis.unreachable or not report.ok else 0
+    if args.sanitize:
+        code = max(code, _sanitize_check(script, args.task, report, analysis))
+    return code
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -189,6 +217,86 @@ def cmd_lint(args: argparse.Namespace) -> int:
         args.strict and any(r.findings for r in reports)
     )
     return 1 if failed else 0
+
+
+def cmd_sanitize(args: argparse.Namespace) -> int:
+    """Run a paper workload with the runtime sanitizer attached (real
+    implementations, thread-pooled engine, optionally a nemesis schedule on
+    the simulated distributed system) and verify every dynamic finding is
+    predicted by a static one."""
+    from .analysis import Sanitizer, analyze_script, to_sarif
+    from .workloads import paper_order, paper_service_impact, paper_trip
+
+    demos = {
+        "order": (paper_order, {"order": "order-1"}),
+        "trip": (paper_trip, {"user": "demo-user"}),
+        "service-impact": (paper_service_impact, {"alarmsSource": "alarm-feed"}),
+    }
+    module, inputs = demos[args.name]
+    script = module.build()
+    report = analyze_script(script, source_name=args.name)
+    sanitizer = Sanitizer()
+    engine = ConcurrentEngine(
+        module.default_registry(), parallelism=args.parallelism, sanitizer=sanitizer
+    )
+    for _ in range(args.runs):
+        engine.run(script, module.ROOT_TASK, inputs=inputs)
+    if args.nemesis:
+        _sanitize_under_nemesis(args, sanitizer, script)
+    print(
+        f"{args.name}: {len(sanitizer.findings)} dynamic finding(s) over "
+        f"{args.runs} sanitized concurrent run(s)"
+        + (" + 1 nemesis schedule" if args.nemesis else "")
+    )
+    for line in sanitizer.render():
+        print(f"  {line}")
+    uncovered = sanitizer.check_coverage(report)
+    if args.output:
+        log = to_sarif(report)
+        # the SARIF log carries the static findings; the dynamic run and
+        # its coverage verdict ride along in the run's property bag
+        log["runs"][0]["properties"] = {
+            "sanitizer": {
+                "workload": args.name,
+                "runs": args.runs,
+                "nemesis": bool(args.nemesis),
+                "dynamicFindings": [f.render() for f in sanitizer.findings],
+                "uncovered": [f.render() for f in uncovered],
+            }
+        }
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(log, fh, indent=2)
+            fh.write("\n")
+    for dyn in uncovered:
+        print(
+            "ANALYZER BUG: dynamic finding has no static counterpart — "
+            f"please report this: {dyn.render()}"
+        )
+    if not uncovered:
+        print("every dynamic finding is statically predicted (dynamic <= static)")
+    return 1 if uncovered else 0
+
+
+def _sanitize_under_nemesis(args, sanitizer, script) -> None:
+    """One deterministic nemesis run: crash a worker right after it executed
+    a task but before the reply lands, forcing the at-least-once redispatch
+    to run the task again — then scan the worker ledgers for duplicates."""
+    from .sim.harness import WORKLOADS, SimHarness
+    from .sim.nemesis import CrashAtPoint, NemesisSchedule
+
+    if args.name not in WORKLOADS:
+        print(f"nemesis: workload {args.name!r} not simulated; skipping")
+        return
+    schedule = NemesisSchedule(
+        faults=[CrashAtPoint("worker.execute.post", at_hit=1)],
+        name="sanitize-duplicate-effects",
+    )
+    harness = SimHarness(
+        schedule=schedule, workload=args.name, seed=args.seed, workers=2
+    )
+    sim_report = harness.run()
+    sanitizer.scan_workers(harness._system.workers, script)
+    print(f"nemesis: {sim_report.summary()}")
 
 
 def cmd_dot(args: argparse.Namespace) -> int:
@@ -368,6 +476,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="static analysis only: skip the dynamic explorer and the "
         "side-by-side comparison",
     )
+    analyze.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="re-run every reachable witness on the thread-pooled engine "
+        "with the runtime sanitizer (vector clocks + locksets) attached; "
+        "exit 1 if any dynamic finding lacks a static counterpart",
+    )
     analyze.set_defaults(fn=cmd_analyze)
 
     lint = commands.add_parser(
@@ -406,6 +521,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the liveness fixpoint (no live/dead annotations)",
     )
     plan.set_defaults(fn=cmd_plan)
+
+    sanitize = commands.add_parser(
+        "sanitize",
+        help="run a paper workload under the runtime sanitizer and verify "
+        "every dynamic race/inversion/duplicate is statically predicted "
+        "(exit 1 on an uncovered dynamic finding)",
+    )
+    sanitize.add_argument("name", choices=["order", "trip", "service-impact"])
+    sanitize.add_argument(
+        "--runs", type=int, default=5, metavar="N",
+        help="sanitized concurrent runs with the real implementations "
+        "(default: 5)",
+    )
+    sanitize.add_argument(
+        "--parallelism", type=int, default=4, metavar="N",
+        help="thread-pool width for the sanitized runs (default: 4)",
+    )
+    sanitize.add_argument(
+        "--nemesis",
+        action="store_true",
+        help="also run one deterministic nemesis schedule (worker crash "
+        "after execute, before reply) on the simulated distributed system "
+        "and scan worker ledgers for duplicate effects",
+    )
+    sanitize.add_argument(
+        "--seed", type=int, default=0, help="nemesis run seed (default: 0)"
+    )
+    sanitize.add_argument(
+        "--output", metavar="FILE",
+        help="write the static report as SARIF with the dynamic findings "
+        "in the run's property bag",
+    )
+    sanitize.set_defaults(fn=cmd_sanitize)
 
     dot = commands.add_parser("dot", help="Graphviz export")
     dot.add_argument("script")

@@ -84,6 +84,7 @@ class ConcurrentWorkflow(LocalWorkflow):
         max_steps: int = 100_000,
         parallelism: int = 4,
         use_plan: bool = True,
+        sanitizer=None,
     ) -> None:
         super().__init__(
             script,
@@ -93,6 +94,7 @@ class ConcurrentWorkflow(LocalWorkflow):
             max_repeats=max_repeats,
             max_steps=max_steps,
             use_plan=use_plan,
+            sanitizer=sanitizer,
         )
         self.parallelism = max(1, int(parallelism))
         # guards steps/inflight; Condition wraps an RLock, so budget helpers
@@ -172,6 +174,7 @@ class ConcurrentEngine(LocalEngine):
         max_steps: int = 100_000,
         parallelism: int = 4,
         use_plan: bool = True,
+        sanitizer=None,
     ) -> None:
         super().__init__(
             registry,
@@ -179,6 +182,7 @@ class ConcurrentEngine(LocalEngine):
             max_repeats=max_repeats,
             max_steps=max_steps,
             use_plan=use_plan,
+            sanitizer=sanitizer,
         )
         self.parallelism = parallelism
 
@@ -197,4 +201,5 @@ class ConcurrentEngine(LocalEngine):
             max_steps=self.max_steps,
             parallelism=self.parallelism,
             use_plan=self.use_plan,
+            sanitizer=self.sanitizer,
         )

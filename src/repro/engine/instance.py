@@ -427,6 +427,14 @@ class InstanceTree:
             node = child
         return node
 
+    # -- observation ------------------------------------------------------------------
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Let a :class:`repro.analysis.dynamic.Sanitizer` observe this tree
+        (instance-level method wrapping: the unsanitized path stays
+        hook-free)."""
+        sanitizer.attach_tree(self)
+
     # -- starting ----------------------------------------------------------------------
 
     def start(self, input_set: str, inputs: Mapping[str, object]) -> None:

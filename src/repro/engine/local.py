@@ -62,11 +62,13 @@ class LocalWorkflow:
         max_steps: int = 100_000,
         use_plan: bool = True,
         plan: Optional[ExecutionPlan] = None,
+        sanitizer=None,
     ) -> None:
         self.registry = registry
         self.max_steps = max_steps
         self.steps = 0
         self.use_plan = use_plan
+        self.sanitizer = sanitizer
         self.tree = InstanceTree(
             script,
             root_task,
@@ -75,6 +77,8 @@ class LocalWorkflow:
             use_plan=use_plan,
             plan=plan,
         )
+        if sanitizer is not None:
+            self.tree.attach_sanitizer(sanitizer)
 
     # -- control ---------------------------------------------------------------
 
@@ -332,12 +336,14 @@ class LocalEngine:
         max_repeats: int = 1000,
         max_steps: int = 100_000,
         use_plan: bool = True,
+        sanitizer=None,
     ) -> None:
         self.registry = registry or ImplementationRegistry()
         self.default_retries = default_retries
         self.max_repeats = max_repeats
         self.max_steps = max_steps
         self.use_plan = use_plan
+        self.sanitizer = sanitizer
 
     def workflow(
         self,
@@ -369,6 +375,7 @@ class LocalEngine:
             max_repeats=self.max_repeats,
             max_steps=self.max_steps,
             use_plan=self.use_plan,
+            sanitizer=self.sanitizer,
         )
 
     def run(

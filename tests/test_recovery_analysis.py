@@ -1,0 +1,471 @@
+"""Recovery-safety and deadlock analysis (E4xx/W4xx) plus the runtime
+lockset/vector-clock sanitizer.
+
+Covers: the static checkers' positive and negative cases, the diagnostic
+registry entries, strict admission on the new error codes, the dynamic
+sanitizer (races, lock inversions, deadlocks, duplicate effects) and the
+static-superset guarantee — including the barrier-rendezvous fixture that
+provokes a static E403 cycle into a real ``DeadlockError`` under the
+concurrent engine, proving the static finding genuine.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis import (
+    DIAGNOSTICS,
+    Sanitizer,
+    Severity,
+    analyze_script,
+    check_lockorder,
+    check_recovery,
+    sanitized_exploration,
+)
+from repro.core import ScriptBuilder, from_input, from_output
+from repro.core.selection import HOTPATH_STATS
+from repro.engine import ImplementationRegistry, LocalEngine, outcome
+from repro.engine.concurrent import ConcurrentEngine
+from repro.lang import format_script
+from repro.txn.locks import DeadlockError, LockManager, LockMode
+
+
+# -- fixture scripts -----------------------------------------------------------
+
+
+def _atomic_pair_script(invert: bool = True):
+    """Two atomic constituents locking env objects x and y; ``invert``
+    declares them in opposite orders (the E403 shape)."""
+    b = ScriptBuilder()
+    b.object_classes("Data")
+    (b.taskclass("AtomicXY")
+        .input_set("main", x="Data", y="Data")
+        .outcome("ok", out="Data")
+        .abort_outcome("fail"))
+    (b.taskclass("AtomicYX")
+        .input_set("main", y="Data", x="Data")
+        .outcome("ok", out="Data")
+        .abort_outcome("fail"))
+    (b.taskclass("Root")
+        .input_set("main", x="Data", y="Data")
+        .outcome("done", out="Data")
+        .abort_outcome("failed"))
+    wf = b.compound("wf", "Root")
+    (wf.task("a", "AtomicXY").implementation(code="implA")
+        .input("main", "x", from_input("wf", "main", "x"))
+        .input("main", "y", from_input("wf", "main", "y")).up())
+    second = "AtomicYX" if invert else "AtomicXY"
+    builder = wf.task("bb", second).implementation(code="implB")
+    if invert:
+        builder.input("main", "y", from_input("wf", "main", "y"))
+        builder.input("main", "x", from_input("wf", "main", "x"))
+    else:
+        builder.input("main", "x", from_input("wf", "main", "x"))
+        builder.input("main", "y", from_input("wf", "main", "y"))
+    builder.up()
+    (wf.output("done").object("out", from_output("a", "ok", "out")).up()
+       .output("failed")
+       .notify(from_output("a", "fail"), from_output("bb", "fail")).up())
+    wf.up()
+    return b.build()
+
+
+def _uncompensated_script(compensated: bool = False):
+    """Atomic ``pay`` commits; the compound's abort fires from ``ship``
+    alone.  With ``compensated`` a third task consumes pay's committed
+    receipt (the compensation hook) and E402 must stay silent."""
+    b = ScriptBuilder()
+    b.object_classes("Data")
+    (b.taskclass("Pay").input_set("main", x="Data")
+        .outcome("paid", receipt="Data").abort_outcome("payFailed"))
+    (b.taskclass("Ship").input_set("main", x="Data")
+        .outcome("shipped", note="Data").abort_outcome("shipFailed"))
+    (b.taskclass("Refund").input_set("main", receipt="Data")
+        .outcome("refunded", out="Data"))
+    (b.taskclass("Root").input_set("main", x="Data")
+        .outcome("done", out="Data").abort_outcome("failed"))
+    wf = b.compound("wf", "Root")
+    (wf.task("pay", "Pay").implementation(code="pay")
+        .input("main", "x", from_input("wf", "main", "x")).up())
+    (wf.task("ship", "Ship").implementation(code="ship")
+        .input("main", "x", from_input("wf", "main", "x")).up())
+    if compensated:
+        (wf.task("refund", "Refund").implementation(code="refund")
+            .input("main", "receipt", from_output("pay", "paid", "receipt")).up())
+    (wf.output("done").object("out", from_output("ship", "shipped", "note")).up()
+       .output("failed").notify(from_output("ship", "shipFailed")).up())
+    wf.up()
+    return b.build()
+
+
+def _deadline_script():
+    b = ScriptBuilder()
+    b.object_classes("Data")
+    (b.taskclass("NoAbort").input_set("main", x="Data").outcome("ok", out="Data"))
+    (b.taskclass("HasAbort").input_set("main", x="Data")
+        .outcome("ok", out="Data").abort_outcome("fail"))
+    (b.taskclass("Root").input_set("main", x="Data").outcome("done", out="Data"))
+    wf = b.compound("wf", "Root")
+    (wf.task("unarmable", "NoAbort").implementation(code="impl", deadline="5")
+        .input("main", "x", from_input("wf", "main", "x")).up())
+    (wf.task("unparsable", "HasAbort").implementation(code="impl", deadline="soon")
+        .input("main", "x", from_input("wf", "main", "x")).up())
+    (wf.task("degenerate", "HasAbort").implementation(code="impl", deadline="0")
+        .input("main", "x", from_input("wf", "main", "x")).up())
+    (wf.task("healthy", "HasAbort").implementation(code="impl", deadline="30")
+        .input("main", "x", from_input("wf", "main", "x")).up())
+    (wf.output("done").object("out", from_output("unarmable", "ok", "out")).up())
+    wf.up()
+    return b.build()
+
+
+def _codes(findings, code):
+    return [f for f in findings if f.code == code]
+
+
+# -- registry ------------------------------------------------------------------
+
+
+def test_new_codes_registered():
+    assert DIAGNOSTICS.require("W401").severity is Severity.WARNING
+    assert DIAGNOSTICS.require("E402").severity is Severity.ERROR
+    assert DIAGNOSTICS.require("E403").severity is Severity.ERROR
+    assert DIAGNOSTICS.require("W404").severity is Severity.WARNING
+
+
+# -- W401: bare effects --------------------------------------------------------
+
+
+def test_w401_flags_reachable_nonatomic_tasks(pipeline_script):
+    findings = check_recovery(pipeline_script)
+    flagged = {f.location for f in _codes(findings, "W401")}
+    assert flagged == {"pipeline/t1", "pipeline/t2", "pipeline/t3"}
+
+
+def test_w401_spares_atomic_and_timer_tasks():
+    b = ScriptBuilder()
+    b.object_classes("Data")
+    (b.taskclass("Atomic").input_set("main", x="Data")
+        .outcome("ok", out="Data").abort_outcome("fail"))
+    (b.taskclass("Tick").input_set("main").outcome("fired"))
+    (b.taskclass("Root").input_set("main", x="Data").outcome("done", out="Data"))
+    wf = b.compound("wf", "Root")
+    (wf.task("tx", "Atomic").implementation(code="impl")
+        .input("main", "x", from_input("wf", "main", "x")).up())
+    (wf.task("tick", "Tick")
+        .implementation(code="system.timer", delay="5")
+        .notify("main", from_input("wf", "main")).up())
+    (wf.output("done").object("out", from_output("tx", "ok", "out")).up())
+    wf.up()
+    findings = check_recovery(b.build())
+    assert not _codes(findings, "W401")
+
+
+# -- E402: uncompensated abort paths -------------------------------------------
+
+
+def test_e402_fires_on_uncompensated_commit():
+    findings = check_recovery(_uncompensated_script())
+    e402 = _codes(findings, "E402")
+    assert [f.location for f in e402] == ["wf -> wf/pay"]
+    assert e402[0].related == ("wf", "wf/pay")
+
+
+def test_e402_silent_when_commit_is_consumed():
+    findings = check_recovery(_uncompensated_script(compensated=True))
+    assert not _codes(findings, "E402")
+
+
+def test_e402_silent_when_abort_demands_the_constituents_abort():
+    # the compound abort fires only via pay's own abort: pay cannot have
+    # committed on that path, nothing stands uncompensated
+    b = ScriptBuilder()
+    b.object_classes("Data")
+    (b.taskclass("Pay").input_set("main", x="Data")
+        .outcome("paid", receipt="Data").abort_outcome("payFailed"))
+    (b.taskclass("Root").input_set("main", x="Data")
+        .outcome("done", out="Data").abort_outcome("failed"))
+    wf = b.compound("wf", "Root")
+    (wf.task("pay", "Pay").implementation(code="pay")
+        .input("main", "x", from_input("wf", "main", "x")).up())
+    (wf.output("done").object("out", from_output("pay", "paid", "receipt")).up()
+       .output("failed").notify(from_output("pay", "payFailed")).up())
+    wf.up()
+    findings = check_recovery(b.build())
+    assert not _codes(findings, "E402")
+
+
+# -- W404: degenerate deadlines ------------------------------------------------
+
+
+def test_w404_three_degenerate_shapes_and_one_healthy():
+    findings = check_recovery(_deadline_script())
+    w404 = {f.location: f.message for f in _codes(findings, "W404")}
+    assert set(w404) == {"wf/unarmable", "wf/unparsable", "wf/degenerate"}
+    assert "never arm" in w404["wf/unarmable"]
+    assert "not a number" in w404["wf/unparsable"]
+    assert "non-positive" in w404["wf/degenerate"]
+
+
+# -- E403: lock-order inversions -----------------------------------------------
+
+
+def test_e403_fires_on_inverted_acquisition_order():
+    findings = check_lockorder(_atomic_pair_script(invert=True))
+    e403 = _codes(findings, "E403")
+    assert [f.location for f in e403] == ["wf/a <-> wf/bb"]
+    assert e403[0].related == ("wf/a", "wf/bb")
+
+
+def test_e403_silent_on_consistent_order():
+    assert not check_lockorder(_atomic_pair_script(invert=False))
+
+
+def test_e403_silent_on_ordered_tasks(pipeline_script):
+    # pipeline stages are happens-before ordered; even inverted declaration
+    # orders could never overlap (and these tasks are not atomic anyway)
+    assert not check_lockorder(pipeline_script)
+
+
+def test_shipped_scripts_stay_error_clean():
+    """No E402/E403 false positives on the paper workloads (acceptance:
+    `repro lint` on clean workloads introduces no new errors)."""
+    from repro.workloads import paper_order, paper_service_impact, paper_trip
+
+    for module in (paper_order, paper_trip, paper_service_impact):
+        report = analyze_script(module.build())
+        assert report.ok, [f.as_dict() for f in report.errors()]
+
+
+# -- strict admission ----------------------------------------------------------
+
+
+def test_strict_admission_rejects_e403():
+    from repro.core.errors import SchemaError
+    from repro.services.repository import RepositoryService
+    from repro.txn import ObjectStore
+
+    text = format_script(_atomic_pair_script(invert=True))
+    strict = RepositoryService("repo", ObjectStore("sx"), strict_admission=True)
+    with pytest.raises(SchemaError, match="E403"):
+        strict.store_script("deadlocky", text)
+    assert strict.list_scripts() == []
+
+
+def test_strict_admission_rejects_e402():
+    from repro.core.errors import SchemaError
+    from repro.services.repository import RepositoryService
+    from repro.txn import ObjectStore
+
+    text = format_script(_uncompensated_script())
+    strict = RepositoryService("repo", ObjectStore("sy"), strict_admission=True)
+    with pytest.raises(SchemaError, match="E402"):
+        strict.store_script("uncompensated", text)
+
+
+# -- sanitizer: vector clocks --------------------------------------------------
+
+
+def test_vector_clock_orderings():
+    from repro.analysis.dynamic import VectorClock
+
+    a = VectorClock({"p": 1})
+    b = VectorClock({"p": 2, "q": 1})
+    assert a.leq(b) and not b.leq(a)
+    c = VectorClock({"q": 1})
+    assert a.concurrent(c)
+    d = a.copy()
+    d.join(c)
+    assert d.clock == {"p": 1, "q": 1}
+    assert not d.concurrent(a) and not d.concurrent(c)
+
+
+def test_sanitizer_sees_fanout_race_and_pipeline_order(pipeline_script, pipeline_registry):
+    # ordered pipeline: no races, dynamic findings empty
+    sanitizer = Sanitizer()
+    engine = ConcurrentEngine(pipeline_registry, parallelism=4, sanitizer=sanitizer)
+    for _ in range(3):
+        engine.run(pipeline_script, inputs={"inp": "seed"})
+    assert sanitizer.findings == []
+    assert sanitizer.trees_attached == 3
+
+
+def test_sanitized_exploration_covers_paper_order():
+    from repro.workloads import paper_order
+
+    script = paper_order.build()
+    report = analyze_script(script)
+    sanitizer = sanitized_exploration(script, paper_order.ROOT_TASK)
+    races = [f for f in sanitizer.findings if f.kind == "race"]
+    assert races, "the order workload's documented §3 race must be observed"
+    assert {f.subjects for f in races} <= {
+        (
+            "processOrderApplication/checkStock",
+            "processOrderApplication/paymentAuthorisation",
+        )
+    }
+    assert sanitizer.check_coverage(report) == []
+
+
+def test_sanitizer_zero_hooks_when_disabled():
+    """The default path carries no sanitizer hooks at all: tree methods are
+    the plain class attributes unless a sanitizer is attached."""
+    from repro.engine.instance import InstanceTree
+    from tests.conftest import build_pipeline_script, stage_registry
+
+    script = build_pipeline_script(2)
+    wf = LocalEngine(stage_registry()).workflow(script)
+    assert wf.tree._publish.__func__ is InstanceTree._publish
+    assert wf.tree._start_node.__func__ is InstanceTree._start_node
+    sanitizer = Sanitizer()
+    wf_sanitized = LocalEngine(stage_registry(), sanitizer=sanitizer).workflow(script)
+    assert wf_sanitized.tree._publish is not InstanceTree._publish
+
+
+# -- sanitizer: locksets and the E403 fixture ----------------------------------
+
+
+def test_lock_hooks_record_inversion_and_deadlock():
+    sanitizer = Sanitizer()
+    manager = LockManager()
+    sanitizer.attach_locks(manager)
+    sanitizer.bind_txn("t1", "wf/a")
+    sanitizer.bind_txn("t2", "wf/bb")
+    manager.acquire("t1", "x", LockMode.EXCLUSIVE, wait=True)
+    manager.acquire("t2", "y", LockMode.EXCLUSIVE, wait=True)
+    manager.acquire("t1", "y", LockMode.EXCLUSIVE, wait=True)  # t1 waits on t2
+    with pytest.raises(DeadlockError):
+        manager.acquire("t2", "x", LockMode.EXCLUSIVE, wait=True)
+    kinds = {f.kind for f in sanitizer.findings}
+    assert kinds == {"lock-inversion", "deadlock"}
+    for finding in sanitizer.findings:
+        assert finding.subjects == ("wf/a", "wf/bb")
+        assert finding.code == "E403"
+
+
+def test_static_e403_cycle_is_provoked_at_runtime():
+    """Satellite fixture: the static E403 pair really deadlocks under the
+    concurrent engine.  Both implementations lock their declared inputs in
+    declaration order; a barrier rendezvous after the first acquisition
+    forces the AB-BA interleaving, LockManager raises DeadlockError, and
+    the dynamic finding is covered by the static E403."""
+    script = _atomic_pair_script(invert=True)
+    report = analyze_script(script, include_lint=False)
+    assert [f.location for f in report.by_code("E403")] == ["wf/a <-> wf/bb"]
+
+    sanitizer = Sanitizer()
+    manager = LockManager()
+    sanitizer.attach_locks(manager)
+    barrier = threading.Barrier(2, timeout=10.0)
+    deadlocks = []
+
+    def locker(txn, first, second):
+        def impl(ctx):
+            sanitizer.bind_txn(txn, ctx.task_path)
+            manager.acquire(txn, first, LockMode.EXCLUSIVE, wait=True)
+            barrier.wait()  # both hold their first lock before either proceeds
+            try:
+                manager.acquire(txn, second, LockMode.EXCLUSIVE, wait=True)
+            except DeadlockError:
+                deadlocks.append(ctx.task_path)
+            finally:
+                barrier.wait()  # both attempted before anyone releases
+                manager.release_all(txn)
+            return outcome("ok", out="v")
+
+        return impl
+
+    registry = ImplementationRegistry()
+    registry.register("implA", locker("txn-a", "x", "y"))
+    registry.register("implB", locker("txn-b", "y", "x"))
+    engine = ConcurrentEngine(registry, parallelism=2, sanitizer=sanitizer)
+    result = engine.run(script, "wf", inputs={"x": "vx", "y": "vy"})
+    assert result.completed, result.error
+    assert deadlocks, "the AB-BA rendezvous must provoke a DeadlockError"
+    lock_findings = [
+        f for f in sanitizer.findings if f.kind in ("deadlock", "lock-inversion")
+    ]
+    assert lock_findings
+    assert sanitizer.check_coverage(report) == []
+
+
+# -- sanitizer: duplicate effects ----------------------------------------------
+
+
+class _FakeWorker:
+    def __init__(self, executed):
+        self.executed = executed
+
+
+def test_duplicate_effect_scan_flags_nonatomic_only():
+    script = _atomic_pair_script(invert=True)
+    b = ScriptBuilder()
+    b.object_classes("Data")
+    (b.taskclass("Bare").input_set("main", x="Data").outcome("ok", out="Data"))
+    (b.taskclass("Root").input_set("main", x="Data").outcome("done", out="Data"))
+    wf = b.compound("wf2", "Root")
+    (wf.task("bare", "Bare").implementation(code="impl")
+        .input("main", "x", from_input("wf2", "main", "x")).up())
+    (wf.output("done").object("out", from_output("bare", "ok", "out")).up())
+    wf.up()
+    bare_script = b.build()
+
+    sanitizer = Sanitizer()
+    # atomic task executed twice: protected by the txn manager, not flagged
+    sanitizer.scan_workers(
+        [_FakeWorker([("i1", "wf/a", 1)]), _FakeWorker([("i1", "wf/a", 1)])],
+        script,
+    )
+    assert sanitizer.findings == []
+    # bare task executed twice: flagged once, attributed to the path
+    sanitizer.scan_workers(
+        [
+            _FakeWorker([("i1", "wf2/bare", 1), ("i1", "wf2/bare", 1)]),
+            _FakeWorker([("i2", "unknown/task", 1)] * 2),
+        ],
+        bare_script,
+    )
+    assert [f.kind for f in sanitizer.findings] == ["duplicate-effect"]
+    assert sanitizer.findings[0].subjects == ("wf2/bare",)
+    report = analyze_script(bare_script, include_lint=False)
+    assert sanitizer.check_coverage(report) == []
+
+
+def test_nemesis_duplicate_is_statically_predicted():
+    """A worker crash after execute but before the reply forces the
+    at-least-once redispatch to run the task again on the simulated
+    system; the resulting ledger duplicate must be predicted by W401."""
+    from repro.sim.harness import SimHarness
+    from repro.sim.nemesis import CrashAtPoint, NemesisSchedule
+    from repro.workloads import paper_order
+
+    schedule = NemesisSchedule(
+        faults=[CrashAtPoint("worker.execute.post", at_hit=1)],
+        name="dup-effects",
+    )
+    harness = SimHarness(schedule=schedule, workload="order", seed=0, workers=2)
+    sim_report = harness.run()
+    assert sim_report.ok, sim_report.violations
+    script = paper_order.build()
+    sanitizer = Sanitizer()
+    sanitizer.scan_workers(harness._system.workers, script)
+    duplicates = [f for f in sanitizer.findings if f.kind == "duplicate-effect"]
+    assert duplicates, "the crash-after-execute schedule must duplicate a task"
+    report = analyze_script(script)
+    assert sanitizer.check_coverage(report) == []
+
+
+# -- hotpath stats isolation (regression) --------------------------------------
+
+
+def test_hotpath_stats_reset_between_tests_part1(pipeline_script, pipeline_registry):
+    LocalEngine(pipeline_registry).run(pipeline_script, inputs={"inp": "x"})
+    assert HOTPATH_STATS.publishes > 0  # this test dirtied the counters
+
+
+def test_hotpath_stats_reset_between_tests_part2():
+    # the autouse fixture must have wiped part1's counters before this test
+    assert HOTPATH_STATS.publishes == 0
+    assert HOTPATH_STATS.source_evals == 0

@@ -429,6 +429,30 @@ SARIF_SUBSET_SCHEMA = {
                                     "type": "object",
                                     "required": ["text"],
                                 },
+                                "relatedLocations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "logicalLocations": {
+                                                "type": "array",
+                                                "items": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "fullyQualifiedName": {
+                                                            "type": "string"
+                                                        },
+                                                        "kind": {"type": "string"},
+                                                    },
+                                                },
+                                            },
+                                            "message": {
+                                                "type": "object",
+                                                "required": ["text"],
+                                            },
+                                        },
+                                    },
+                                },
                             },
                         },
                     },
@@ -469,6 +493,30 @@ def test_sarif_artifact_locations():
         result["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
         == "examples/fanout.wf"
     )
+
+
+def test_sarif_pair_findings_carry_related_locations():
+    """Pair-shaped findings (races, lock cycles) must expose the second task
+    of the pair as a SARIF relatedLocation, not just a properties blob."""
+    log = to_sarif(_sample_report(), artifacts={"fanout": "examples/fanout.wf"})
+    jsonschema_validate(instance=log, schema=SARIF_SUBSET_SCHEMA)
+    paired = [
+        r for r in log["runs"][0]["results"] if r.get("properties", {}).get("related")
+    ]
+    assert paired, "fan-out fixture must produce at least one pair finding"
+    for result in paired:
+        related = result["properties"]["related"]
+        names = [
+            loc["logicalLocations"][0]["fullyQualifiedName"]
+            for loc in result["relatedLocations"]
+        ]
+        assert names == related
+        for loc in result["relatedLocations"]:
+            assert loc["message"]["text"]
+            assert (
+                loc["physicalLocation"]["artifactLocation"]["uri"]
+                == "examples/fanout.wf"
+            )
 
 
 # -- unified report ------------------------------------------------------------
@@ -584,7 +632,8 @@ class TestCliAnalysis:
 
         assert main(["lint", order_file, "--format", "json"]) == 0
         data = json.loads(capsys.readouterr().out)
-        assert data[0]["warnings"] == 1
+        # one W301 race plus the three W401 bare-effect warnings
+        assert data[0]["warnings"] == 4
 
     def test_lint_sarif_to_file(self, order_file, tmp_path):
         from repro.cli import main
