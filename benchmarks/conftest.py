@@ -13,16 +13,19 @@ from typing import Iterable, Sequence
 
 import pytest
 
+from repro.core.instrument import IOPATH_STATS
 from repro.core.selection import HOTPATH_STATS
 
 
 @pytest.fixture(autouse=True)
 def _reset_hotpath_stats():
-    """Isolate the process-global hot-path counters per benchmark: a prior
-    test's publishes/source_evals must not skew eval-reduction ratios."""
+    """Isolate the process-global hot-path and I/O counters per benchmark: a
+    prior test's publishes/forces/marshal counts must not skew ratios."""
     HOTPATH_STATS.reset()
+    IOPATH_STATS.reset()
     yield
     HOTPATH_STATS.reset()
+    IOPATH_STATS.reset()
 
 
 def report(title: str, header: Sequence[str], rows: Iterable[Sequence[object]]) -> None:

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..core.errors import ExecutionError, WorkflowError
+from ..core.instrument import IOPATH_STATS
 from ..core.schema import Script
 from ..core.values import ObjectRef
 from ..engine.events import WorkflowStatus
@@ -118,6 +119,39 @@ class _Runtime:
     # journal keys use this counter; replay reproduces it deterministically.
     exec_counter: Dict[str, int] = field(default_factory=dict)
     live_exec: Dict[str, int] = field(default_factory=dict)
+    # False when the script declares no ``deadline`` implementation property
+    # anywhere: _arm_deadlines can skip its whole-tree walk (recomputed on
+    # reconfiguration, which may introduce deadlines)
+    has_deadlines: bool = True
+
+
+def _script_has_deadlines(script: Script) -> bool:
+    """True when any task declaration carries a ``deadline`` implementation
+    property — the only case _arm_deadlines' whole-tree walk can act on."""
+    return any(
+        decl.implementation.get("deadline") is not None
+        for _path, decl in script.walk_tasks()
+    )
+
+
+# Compiled scripts keyed by their exact source text.  Scripts are immutable
+# (frozen declaration dataclasses); instance state lives in the tree, so one
+# compiled Script can safely back every instance, replay shadow and recovery
+# of the same text.  Keying by text (not name/version) makes staleness
+# impossible.  Bounded: a pathological stream of distinct scripts clears the
+# cache rather than growing it without limit.
+_COMPILE_CACHE: Dict[str, Script] = {}
+_COMPILE_CACHE_MAX = 128
+
+
+def _compile_cached(text: str) -> Script:
+    script = _COMPILE_CACHE.get(text)
+    if script is None:
+        script = compile_script(text)
+        if len(_COMPILE_CACHE) >= _COMPILE_CACHE_MAX:
+            _COMPILE_CACHE.clear()
+        _COMPILE_CACHE[text] = script
+    return script
 
 
 class ExecutionService(Service):
@@ -134,7 +168,18 @@ class ExecutionService(Service):
         dispatch_timeout: float = 30.0,
         sweep_interval: float = 10.0,
         resilience: Optional[ResilienceConfig] = None,
+        journal_batch: bool = True,
+        journal_window: float = 5.0,
     ) -> None:
+        """``journal_batch`` turns on batched journal appends: entries
+        produced within one scheduling pump (and across pumps that trigger
+        no dispatch) accumulate in a buffer and commit in a single
+        transaction/force at the next durability barrier — before any
+        dependent dispatch, when an instance reaches a terminal state, in
+        every public mutating operation, or at the latest ``journal_window``
+        simulated seconds after the first buffered entry.  Recovery, replay
+        determinism and exactly-once dedup are byte-identical to per-entry
+        journaling (``journal_batch=False``)."""
         super().__init__(name)
         self.store = store
         self.broker = broker
@@ -143,6 +188,14 @@ class ExecutionService(Service):
         self.durable = durable
         self.dispatch_timeout = dispatch_timeout
         self.sweep_interval = sweep_interval
+        self.journal_batch = journal_batch
+        self.journal_window = journal_window
+        self._jbuf: List[Tuple[_Runtime, Dict[str, Any]]] = []
+        self._jflush_armed = False
+        # memoized wire forms keyed by id() with a strong reference to the
+        # keyed object, so ids cannot be recycled under the cache
+        self._plain_taskclasses: Dict[int, Tuple[Any, Dict[str, Any]]] = {}
+        self._plain_props: Dict[int, Tuple[Any, Dict[str, str]]] = {}
         self.resilience = resilience or ResilienceConfig.for_timeouts(
             dispatch_timeout, sweep_interval
         )
@@ -181,6 +234,10 @@ class ExecutionService(Service):
         self.runtimes = {}
         self.health.reset()
         self._pending_acks.clear()
+        # buffered journal entries died with the crash, exactly like the
+        # volatile tree state they described; the durable journal is truth
+        self._jbuf.clear()
+        self._jflush_armed = False
         if self.durable:
             for iid in self.store.get_committed("instance-index", []):
                 runtime = self._replay(iid)
@@ -204,7 +261,7 @@ class ExecutionService(Service):
         text = self.broker.invoke(
             self.node, self.repository_name, "get_script", script_name
         )
-        script = compile_script(text)
+        script = _compile_cached(text)
         if self.durable:
             counter = self.store.get_committed("instance-counter", 0) + 1
         else:
@@ -283,11 +340,13 @@ class ExecutionService(Service):
     def reconfigure(self, iid: str, new_script_text: str) -> bool:
         """Atomically apply a modified script to the *running* instance."""
         runtime = self._runtime(iid)
-        new_script = compile_script(new_script_text)
+        new_script = _compile_cached(new_script_text)
         runtime.tree.reconfigure(new_script)  # raises without effect if illegal
         runtime.script = new_script
+        runtime.has_deadlines = _script_has_deadlines(new_script)
         self._journal(runtime, {"type": "reconfig", "script_text": new_script_text})
         self._dispatch_pending(runtime)
+        self.flush_journal()  # client observes the reconfiguration as durable
         return True
 
     def force_abort(self, iid: str, task_path: str, abort_name: Optional[str] = None) -> bool:
@@ -297,6 +356,7 @@ class ExecutionService(Service):
             runtime, {"type": "force_abort", "path": task_path, "name": abort_name}
         )
         self._dispatch_pending(runtime)
+        self.flush_journal()  # client observes the abort as durable
         return True
 
     def external_tasks(self, iid: str) -> List[str]:
@@ -357,11 +417,11 @@ class ExecutionService(Service):
         """
         runtime = self._runtime(iid)
         if self.durable:
+            self.flush_journal()  # export the full history, not a prefix
             meta = self.store.get_committed(f"instance:{iid}:meta")
-            journal = [
-                self.store.get_committed(f"instance:{iid}:journal:{n}")
-                for n in range(meta["journal_len"])
-            ]
+            journal = self.store.get_committed_many(
+                f"instance:{iid}:journal:{n}" for n in range(meta["journal_len"])
+            )
         else:
             meta = None
             journal = list(runtime.volatile_journal)
@@ -409,6 +469,7 @@ class ExecutionService(Service):
         """
         crash_point("exec.compact.pre", self)
         if self.durable:
+            self.flush_journal()  # fold buffered entries into the checkpoint
             self.store.checkpoint()
         crash_point("exec.compact.post", self)
         return len(self.store.wal)
@@ -446,6 +507,7 @@ class ExecutionService(Service):
         runtime.external.discard((task_path, exec_index))
         self._apply_entry(runtime, entry)
         self._dispatch_pending(runtime)
+        self.flush_journal()  # client observes the completion as durable
         return True
 
     # -- dispatching -------------------------------------------------------------------------
@@ -453,12 +515,31 @@ class ExecutionService(Service):
     def _fresh_runtime(self, iid: str, script: Script, meta: Dict[str, Any]) -> _Runtime:
         tree = InstanceTree(script, meta["root_task"], now=self._now)
         runtime = _Runtime(iid, script, tree)
+        runtime.has_deadlines = _script_has_deadlines(script)
         tree.start(meta["input_set"], meta["inputs"])
         self._drain(runtime)
         return runtime
 
     def _now(self) -> float:
         return self.node.clock.now if self.node is not None else 0.0
+
+    def _taskclass_plain(self, taskclass: Any) -> Dict[str, Any]:
+        """Memoized wire form of a task class.  Task classes are frozen and
+        shared by every execution of the declaring script, so the plain dict
+        is computed once; ORB marshalling copies it at the boundary, keeping
+        the cached instance unaliased."""
+        cached = self._plain_taskclasses.get(id(taskclass))
+        if cached is None or cached[0] is not taskclass:
+            cached = (taskclass, taskclass_to_plain(taskclass))
+            self._plain_taskclasses[id(taskclass)] = cached
+        return cached[1]
+
+    def _props_plain(self, implementation: Any) -> Dict[str, str]:
+        cached = self._plain_props.get(id(implementation))
+        if cached is None or cached[0] is not implementation:
+            cached = (implementation, implementation.as_dict())
+            self._plain_props[id(implementation)] = cached
+        return cached[1]
 
     def _drain(self, runtime: _Runtime) -> None:
         """Begin execution of every ready task; queue the work requests."""
@@ -474,11 +555,11 @@ class ExecutionService(Service):
                 instance_id=runtime.iid,
                 task_path=node.path,
                 execution_index=exec_index,
-                taskclass=taskclass_to_plain(node.taskclass),
+                taskclass=self._taskclass_plain(node.taskclass),
                 code=node.decl.implementation.code,
                 input_set=input_set,
                 inputs=refs_to_plain(inputs),
-                properties=node.decl.implementation.as_dict(),
+                properties=self._props_plain(node.decl.implementation),
                 attempt=node.attempt + 1,
                 repeats=node.machine.repeats,
                 reply_to=self.node.name if self.node else "",
@@ -493,6 +574,11 @@ class ExecutionService(Service):
             if not flight.sent:
                 self._send(runtime, key, flight)
         self._arm_deadlines(runtime)
+        if runtime.tree.status is not WorkflowStatus.RUNNING:
+            # terminal barrier: the deciding entry must be durable before the
+            # terminal state can be observed between events (see the
+            # durability oracle) — flush inside the same event that applied it
+            self.flush_journal()
 
     def _arm_deadlines(self, runtime: _Runtime) -> None:
         """Fig. 3's abort-from-WAIT by timer: a task whose ``deadline``
@@ -505,9 +591,12 @@ class ExecutionService(Service):
         being granted a fresh full one."""
         if self.node is None or not self.node.alive:
             return
+        if not runtime.has_deadlines:
+            return  # script declares no deadline property: skip the tree walk
         from ..core.schema import OutputKind
         from ..core.states import TaskState
 
+        journaled = False
         for node in runtime.tree.walk():
             raw = node.decl.implementation.get("deadline")
             if raw is None or node.machine.state is not TaskState.WAIT:
@@ -536,6 +625,7 @@ class ExecutionService(Service):
                         "expires_at": expires_at,
                     },
                 )
+                journaled = True
             delay = max(0.0, expires_at - self._now())
             runtime.armed_deadlines.add(key)
 
@@ -565,6 +655,10 @@ class ExecutionService(Service):
                 self._dispatch_pending(runtime)
 
             self.node.call_after(delay, fire, label=f"deadline:{node.path}")
+        if journaled:
+            # a deadline's absolute expiry must survive a crash for recovery
+            # to resume the *remaining* deadline — flush it right away
+            self.flush_journal()
 
     def _send(
         self,
@@ -573,6 +667,12 @@ class ExecutionService(Service):
         flight: _InFlight,
         hedge: bool = False,
     ) -> None:
+        # Durability barrier: a dispatched task's execution (and eventual
+        # reply) depends on every journal entry that made it ready.  Were the
+        # send to outrun the journal, a crash could replay a shorter journal
+        # while the reply to the *longer* history arrives and is deduped —
+        # wedging the instance.  Flush-before-send makes that impossible.
+        self.flush_journal()
         if flight.request.get("code") == "system.timer":
             self._arm_timer_task(runtime, key, flight)
             return
@@ -938,7 +1038,16 @@ class ExecutionService(Service):
         if not self.durable:
             runtime.volatile_journal.append(entry)
             return
+        IOPATH_STATS.journal_entries += 1
         crash_point("exec.journal.pre", self)
+        if self.journal_batch:
+            # buffered: becomes durable at the next barrier (flush_journal).
+            # The dedup key above and this buffered entry are both volatile,
+            # so a crash loses them together — redelivered replies simply
+            # journal again after recovery.
+            self._jbuf.append((runtime, entry))
+            self._arm_journal_window()
+            return
         meta_key = f"instance:{runtime.iid}:meta"
 
         def body(txn) -> None:
@@ -949,7 +1058,55 @@ class ExecutionService(Service):
             txn.write(self.store, meta_key, meta)
 
         self.manager.run(body)
+        IOPATH_STATS.journal_batches += 1
         crash_point("exec.journal.post", self)
+        self.store.sync()
+
+    def flush_journal(self) -> int:
+        """Durability barrier: commit every buffered journal entry in one
+        transaction (one WAL force), update each touched instance's
+        ``journal_len`` once, then drain the WAL group-commit window.
+
+        The batch is all-or-nothing — every write rides a single COMMIT
+        record, so a torn force during the flush presumed-aborts the whole
+        batch and recovery sees a contiguous journal either way.  Returns
+        the number of entries made durable."""
+        if not self._jbuf:
+            return 0
+        batch, self._jbuf = self._jbuf, []
+
+        def body(txn) -> None:
+            metas: Dict[str, Dict[str, Any]] = {}
+            for runtime, entry in batch:
+                meta = metas.get(runtime.iid)
+                if meta is None:
+                    meta = dict(txn.read(self.store, f"instance:{runtime.iid}:meta"))
+                    metas[runtime.iid] = meta
+                n = meta["journal_len"]
+                txn.write(self.store, f"instance:{runtime.iid}:journal:{n}", entry)
+                meta["journal_len"] = n + 1
+            for iid, meta in metas.items():
+                txn.write(self.store, f"instance:{iid}:meta", meta)
+
+        self.manager.run(body)
+        IOPATH_STATS.journal_batches += 1
+        crash_point("exec.journal.post", self)
+        self.store.sync()
+        return len(batch)
+
+    def _arm_journal_window(self) -> None:
+        """Bound how long a buffered entry may stay volatile: one flush timer
+        per non-empty buffer, armed when the first entry lands."""
+        if self._jflush_armed or self.node is None or not self.node.alive:
+            return
+        self._jflush_armed = True
+
+        def fire() -> None:
+            self._jflush_armed = False
+            if self.node is not None and self.node.alive:
+                self.flush_journal()
+
+        self.node.call_after(self.journal_window, fire, label=f"{self.name}-jflush")
 
     @staticmethod
     def _entry_key(entry: Dict[str, Any]) -> Tuple:
@@ -983,9 +1140,10 @@ class ExecutionService(Service):
             ]
             return
         if kind == "reconfig":
-            new_script = compile_script(entry["script_text"])
+            new_script = _compile_cached(entry["script_text"])
             runtime.tree.reconfigure(new_script)
             runtime.script = new_script
+            runtime.has_deadlines = _script_has_deadlines(new_script)
             return
         if kind == "force_abort":
             runtime.tree.force_abort(entry["path"], entry.get("name"))
@@ -1012,18 +1170,18 @@ class ExecutionService(Service):
         meta = self.store.get_committed(f"instance:{iid}:meta")
         if meta is None:
             return None
-        journal = [
-            self.store.get_committed(f"instance:{iid}:journal:{n}")
-            for n in range(meta["journal_len"])
-        ]
+        journal = self.store.get_committed_many(
+            f"instance:{iid}:journal:{n}" for n in range(meta["journal_len"])
+        )
         return self._replay_from(iid, meta, journal)
 
     def _replay_from(
         self, iid: str, meta: Dict[str, Any], journal: List[Optional[Dict[str, Any]]]
     ) -> _Runtime:
-        script = compile_script(meta["script_text"])
+        script = _compile_cached(meta["script_text"])
         tree = InstanceTree(script, meta["root_task"], now=self._now)
         runtime = _Runtime(iid, script, tree)
+        runtime.has_deadlines = _script_has_deadlines(script)
         tree.start(meta["input_set"], meta["inputs"])
         self._drain(runtime)
         for entry in journal:

@@ -48,13 +48,24 @@ class WorkflowSystem:
         resilience: Optional[ResilienceConfig] = None,
         dup_rate: float = 0.0,
         reorder_window: float = 0.0,
+        journal_batch: bool = True,
+        journal_window: float = 5.0,
+        group_commit: bool = True,
+        mirror_path: Optional[str] = None,
     ) -> None:
         """``resilience`` tunes the adaptive dispatch layer (backoff, circuit
         breakers, health routing, hedging).  Defaults to
         ``ResilienceConfig.for_timeouts(dispatch_timeout, sweep_interval,
         seed=seed)``; pass ``ResilienceConfig.disabled()`` for the legacy
         fixed-interval dispatcher.  ``dup_rate``/``reorder_window`` feed the
-        network's duplication and reordering fault model."""
+        network's duplication and reordering fault model.
+
+        The I/O core (docs/PROTOCOLS.md §11) is on by default:
+        ``journal_batch`` batches the execution journal's appends into one
+        transaction per durability barrier and ``group_commit`` coalesces
+        the execution store's WAL mirror fsyncs; ``mirror_path`` attaches a
+        real on-disk JSON-lines mirror so those fsyncs have physical cost
+        (benchmarks use this to measure fsyncs/step honestly)."""
         self.clock = EventClock()
         self.network = Network(
             self.clock,
@@ -89,7 +100,9 @@ class WorkflowSystem:
             worker_names.append(name)
 
         self.execution_node = Node("execution-node", self.clock, self.network)
-        self.execution_store = ObjectStore("execution-store")
+        self.execution_store = ObjectStore(
+            "execution-store", mirror_path=mirror_path, group_commit=group_commit
+        )
         self.execution = ExecutionService(
             "execution",
             self.execution_store,
@@ -103,6 +116,8 @@ class WorkflowSystem:
             or ResilienceConfig.for_timeouts(
                 dispatch_timeout, sweep_interval, seed=seed
             ),
+            journal_batch=journal_batch,
+            journal_window=journal_window,
         )
         self.execution_node.install(self.execution)
         self.broker.register(

@@ -105,10 +105,9 @@ def _journal_entries(
     meta = store.get_committed(f"instance:{iid}:meta")
     if meta is None:
         return None, []
-    journal = [
-        store.get_committed(f"instance:{iid}:journal:{n}")
-        for n in range(meta["journal_len"])
-    ]
+    journal = store.get_committed_many(
+        f"instance:{iid}:journal:{n}" for n in range(meta["journal_len"])
+    )
     return meta, journal
 
 
@@ -197,10 +196,13 @@ def observe_terminal(
 ) -> None:
     """Record the first observed terminal (status, outcome) per instance.
 
-    Entries are journaled before they are applied to the tree, so an
-    observed terminal tree state implies the deciding journal entry is
-    durable — it is from that moment on that losing it becomes a
-    durability violation.
+    Entries are journaled before they are applied to the tree, and under
+    journal batching the execution service flushes its buffered entries
+    within the same event that drives the tree terminal (the terminal
+    barrier in ``_dispatch_pending``) — so by the time the harness can
+    observe a terminal tree between events, the deciding entry is durable.
+    It is from that moment on that losing it becomes a durability
+    violation.
     """
     for iid, runtime in service.runtimes.items():
         status = runtime.tree.status.value

@@ -9,7 +9,7 @@ rebuilds the cache from the log — the store's entire crash semantics.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, KeysView, Optional
+from typing import Any, Dict, Iterable, KeysView, List, Optional
 
 from ..sim.crashpoints import crash_point
 from .ids import ObjectId, TransactionId
@@ -25,9 +25,15 @@ class NoSuchObject(KeyError):
 class ObjectStore:
     """Stable storage for one node: committed object images + WAL + locks."""
 
-    def __init__(self, name: str, mirror_path: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        mirror_path: Optional[str] = None,
+        group_commit: bool = False,
+        group_max: int = 128,
+    ) -> None:
         self.name = name
-        self.wal = WriteAheadLog(mirror_path)
+        self.wal = WriteAheadLog(mirror_path, group_commit=group_commit, group_max=group_max)
         self.locks = LockManager()
         self._committed: Dict[str, Any] = {}
 
@@ -41,6 +47,13 @@ class ObjectStore:
 
     def get_committed(self, key: str, default: Any = None) -> Any:
         return self._committed.get(key, default)
+
+    def get_committed_many(self, keys: Iterable[str], default: Any = None) -> List[Any]:
+        """Batched committed read: one store round-trip for a whole key range
+        (an instance journal, a scan) instead of one ``get_committed`` per
+        key.  Missing keys yield ``default`` at their position."""
+        committed = self._committed
+        return [committed.get(key, default) for key in keys]
 
     def exists(self, key: str) -> bool:
         return key in self._committed
@@ -80,6 +93,10 @@ class ObjectStore:
         crash_point("store.abort.pre", self)
         self.wal.append(wal_mod.ABORT, txn)
         self.wal.force()
+
+    def sync(self) -> bool:
+        """Group-commit barrier: drain the WAL's pending mirror syncs."""
+        return self.wal.sync()
 
     # -- failure model -----------------------------------------------------------
 

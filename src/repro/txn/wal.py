@@ -6,8 +6,22 @@ lives in *stable storage* — in the simulation, a plain Python list attached to
 a node's stable store that deliberately survives :meth:`Node.crash` — and can
 optionally be mirrored to a JSON-lines file on disk for inspection.  The
 mirror trails ``_forced_upto``: it receives records only when they are
-*forced* (flushed and fsynced at that moment), so after any crash — torn
-writes included — the file holds exactly the durable prefix.
+*forced*, so after any crash — torn writes included — the file holds exactly
+the durable prefix.
+
+Two mirror disciplines (see docs/PROTOCOLS.md §11):
+
+* **Per-force** (``group_commit=False``, the default): every ``force()``
+  writes its records through a persistent file handle and fsyncs before
+  returning — one physical sync per durability point.
+* **Group commit** (``group_commit=True``): ``force()`` writes its records
+  (buffered) but defers the fsync; adjacent forces coalesce behind a single
+  :meth:`sync` issued by the caller's durability barrier, or automatically
+  once ``group_max`` forces are pending.  Simulated durability
+  (``_forced_upto``) is advanced per force exactly as before, and every
+  crash path (:meth:`lose_unforced`, :meth:`torn_force`) syncs the pending
+  mirror rows first, so post-mortem the file is still exactly the durable
+  prefix.
 
 Record kinds::
 
@@ -26,6 +40,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional
 
+from ..core.instrument import IOPATH_STATS
 from ..sim.crashpoints import crash_point
 from .ids import ObjectId, TransactionId
 
@@ -70,11 +85,20 @@ class WriteAheadLog:
     and are discarded by :meth:`lose_unforced` (which node crash invokes).
     """
 
-    def __init__(self, mirror_path: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        mirror_path: Optional[str] = None,
+        group_commit: bool = False,
+        group_max: int = 128,
+    ) -> None:
         self._records: List[LogRecord] = []
         self._forced_upto = 0  # index one past the last durable record
         self._next_lsn = 1
         self._mirror_path = mirror_path
+        self._mirror_fh = None  # persistent handle, opened on first mirror write
+        self.group_commit = group_commit
+        self.group_max = max(1, group_max)
+        self._pending_syncs = 0  # forces mirrored but not yet fsynced
 
     # -- append/force ------------------------------------------------------------
 
@@ -93,8 +117,15 @@ class WriteAheadLog:
         return record
 
     def force(self) -> int:
-        """Make all appended records durable; returns the durable LSN."""
+        """Make all appended records durable; returns the durable LSN.
+
+        In group-commit mode the simulated durability point is identical —
+        ``_forced_upto`` advances here, and the ``wal.force.pre/post`` crash
+        points bracket it exactly as before — only the physical fsync of the
+        mirror file is deferred to the next :meth:`sync` barrier (or until
+        ``group_max`` forces are pending)."""
         crash_point("wal.force.pre", self)
+        IOPATH_STATS.wal_forces += 1
         start = self._forced_upto
         self._forced_upto = len(self._records)
         self._mirror(start, self._forced_upto)
@@ -113,10 +144,12 @@ class WriteAheadLog:
         """
         target = len(self._records) - 1
         if target <= self._forced_upto:
+            self.sync()  # coalesced rows from earlier forces still hit disk
             return 0  # zero or one pending record: nothing becomes durable
         start = self._forced_upto
         self._forced_upto = target
         self._mirror(start, target)
+        self.sync()
         return target - start
 
     def _mirror(self, start: int, end: int) -> None:
@@ -124,22 +157,65 @@ class WriteAheadLog:
 
         The mirror only ever receives *forced* records — it trails
         ``_forced_upto``, never the volatile tail — so after any crash the
-        file is exactly the durable prefix.  The write is flushed and
-        fsynced before returning: the in-simulation force already happened,
-        and a mirror that lagged the simulated durability point would lie to
-        anyone inspecting it post-mortem.
+        file is exactly the durable prefix.  Writes go through a persistent
+        handle (reopening the file per force cost more than the write
+        itself); per-force mode fsyncs immediately, group-commit mode marks
+        the rows pending and leaves the fsync to the next :meth:`sync`
+        barrier.
         """
-        if not self._mirror_path or end <= start:
+        if end <= start:
             return
-        with open(self._mirror_path, "a", encoding="utf-8") as fh:
-            for record in self._records[start:end]:
-                fh.write(record.to_json() + "\n")
-            fh.flush()
+        if not self._mirror_path:
+            # no physical mirror: still account the sync discipline, so the
+            # fsyncs-per-step counters are meaningful in pure simulation
+            if self.group_commit:
+                self._pending_syncs += 1
+                if self._pending_syncs >= self.group_max:
+                    self.sync()
+            else:
+                IOPATH_STATS.wal_syncs += 1
+            return
+        if self._mirror_fh is None:
+            self._mirror_fh = open(self._mirror_path, "a", encoding="utf-8")
+        fh = self._mirror_fh
+        fh.write("".join(record.to_json() + "\n" for record in self._records[start:end]))
+        fh.flush()  # visible to same-host readers; durability is the fsync
+        IOPATH_STATS.wal_records_mirrored += end - start
+        if self.group_commit:
+            self._pending_syncs += 1
+            if self._pending_syncs >= self.group_max:
+                self.sync()
+        else:
             os.fsync(fh.fileno())
+            IOPATH_STATS.wal_syncs += 1
+
+    def sync(self) -> bool:
+        """Group-commit barrier: fsync every mirror row written since the
+        last sync, in one physical operation.  Returns True if a sync was
+        actually performed (False when nothing was pending).  Callers invoke
+        this before any externally observable action that depends on a
+        force — that is what bounds the coalescing window."""
+        if self._pending_syncs == 0:
+            return False
+        self._pending_syncs = 0
+        if self._mirror_fh is not None:
+            os.fsync(self._mirror_fh.fileno())
+        IOPATH_STATS.wal_syncs += 1
+        return True
+
+    def close(self) -> None:
+        """Sync and release the persistent mirror handle."""
+        self.sync()
+        if self._mirror_fh is not None:
+            self._mirror_fh.close()
+            self._mirror_fh = None
 
     def lose_unforced(self) -> int:
         """Simulate a crash: drop records appended since the last force.
-        Returns how many records were lost."""
+        Returns how many records were lost.  Pending group-commit rows are
+        synced first: they cover records *before* ``_forced_upto``, so after
+        the crash the mirror file is still exactly the durable prefix."""
+        self.sync()
         lost = len(self._records) - self._forced_upto
         del self._records[self._forced_upto:]
         return lost
@@ -176,6 +252,7 @@ class WriteAheadLog:
         crash_point("wal.checkpoint.pre", self)
         record = self.append(CHECKPOINT, value=snapshot)
         self.force()
+        self.sync()  # compaction is a durability barrier: drain the window
         crash_point("wal.checkpoint.forced", self)
         index = self._records.index(record)
         self._records = self._records[index:]

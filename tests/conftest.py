@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import ScriptBuilder, from_input, from_output
+from repro.core.instrument import IOPATH_STATS
 from repro.core.selection import HOTPATH_STATS
 from repro.engine import ImplementationRegistry, LocalEngine, outcome
 from repro.net import EventClock, LatencyModel, Network, Node
@@ -13,12 +14,15 @@ from repro.txn import ObjectStore, TransactionManager
 
 @pytest.fixture(autouse=True)
 def _reset_hotpath_stats():
-    """HOTPATH_STATS is a process-global counter; without this reset every
-    test (and any engine the test runs) bleeds publishes/source_evals into
-    the next, making eval-per-publish assertions order-dependent."""
+    """HOTPATH_STATS/IOPATH_STATS are process-global counters; without this
+    reset every test (and any engine or store the test runs) bleeds
+    publishes/forces/marshal counts into the next, making per-test ratio
+    assertions order-dependent."""
     HOTPATH_STATS.reset()
+    IOPATH_STATS.reset()
     yield
     HOTPATH_STATS.reset()
+    IOPATH_STATS.reset()
 
 
 @pytest.fixture

@@ -1,6 +1,7 @@
 """Additional coverage for ORB marshalling protocols: transferable
-dataclasses, the __marshal__/__unmarshal__ hook, and structural copies of
-tuple/dict subclasses (namedtuples and registered containers)."""
+dataclasses, the __marshal__/__unmarshal__ hook, structural copies of
+tuple/dict subclasses (namedtuples and registered containers), and the
+zero-copy fast path for deeply immutable values (docs/PROTOCOLS.md §11)."""
 
 import collections
 import dataclasses
@@ -9,6 +10,7 @@ import typing
 import pytest
 
 from repro.orb import MarshalError, is_transferable, marshal, marshal_call, transferable
+from repro.orb.marshal import set_fast_path
 
 
 @transferable
@@ -40,17 +42,96 @@ class TestTransferableDataclasses:
     def test_registered(self):
         assert is_transferable(Money)
 
-    def test_copied_field_by_field(self):
+    def test_frozen_immutable_passes_by_reference(self):
+        """Zero-copy fast path: a frozen dataclass whose fields are all
+        immutable is indistinguishable shared or copied, so marshal returns
+        it by reference."""
         original = Money("EUR", 12.5)
         copy = marshal(original)
         assert copy == original
-        assert copy is not original
+        assert copy is original
 
     def test_nested_inside_containers(self):
         data = {"payments": [Money("EUR", 1.0), Money("USD", 2.0)]}
         copy = marshal(data)
         assert copy == data
-        assert copy["payments"][0] is not data["payments"][0]
+        assert copy["payments"][0] is data["payments"][0]  # immutable leaf
+        assert copy["payments"] is not data["payments"]  # mutable list copied
+
+    def test_frozen_with_mutable_field_still_copied(self):
+        @transferable
+        @dataclasses.dataclass(frozen=True)
+        class Basket:
+            items: list
+
+        original = Basket([1, 2])
+        copy = marshal(original)
+        assert copy == original
+        assert copy is not original
+        assert copy.items is not original.items
+
+    def test_mutable_dataclass_still_copied(self):
+        @transferable
+        @dataclasses.dataclass
+        class Counter:
+            n: int
+
+        original = Counter(3)
+        copy = marshal(original)
+        assert copy == original
+        assert copy is not original
+
+
+class TestZeroCopyFastPath:
+    def test_immutable_tuple_by_reference(self):
+        value = (1, "a", (2.5, None), frozenset({"x"}))
+        assert marshal(value) is value
+
+    def test_tuple_with_mutable_member_copied(self):
+        value = (1, [2])
+        copy = marshal(value)
+        assert copy == value
+        assert copy is not value
+        assert copy[1] is not value[1]
+
+    def test_fast_path_disabled_restores_structural_copy(self):
+        value = (1, (2, 3))
+        set_fast_path(False)
+        try:
+            copy = marshal(value)
+            assert copy == value
+            assert copy is not value
+            assert marshal(Money("EUR", 1.0)) is not Money  # sanity: still works
+        finally:
+            set_fast_path(True)
+        assert marshal(value) is value
+
+    def test_late_registration_invalidates_dispatch_cache(self):
+        """A type first marshalled (and rejected) before registration must be
+        re-classified after @transferable — the memoized dispatch cache may
+        not serve the stale 'unmarshalable' handler."""
+
+        @dataclasses.dataclass(frozen=True)
+        class LateComer:
+            tag: str
+
+        with pytest.raises(MarshalError):
+            marshal(LateComer("early"))
+
+        transferable(LateComer)
+        copy = marshal(LateComer("late"))
+        assert copy == LateComer("late")
+
+    def test_late_registration_of_dict_subclass(self):
+        """An unregistered dict subclass decays to plain dict; registering it
+        afterwards must flip the cached handler to type-preserving."""
+
+        class LateHeaders(dict):
+            pass
+
+        assert type(marshal(LateHeaders({"a": 1}))) is dict
+        transferable(LateHeaders)
+        assert type(marshal(LateHeaders({"a": 1}))) is LateHeaders
 
 
 class TestMarshalProtocol:

@@ -178,3 +178,130 @@ class TestDiskMirror:
         log.force()
         log.force()  # idempotent: nothing new to write
         assert len(path.read_text().strip().splitlines()) == 2
+
+    def test_persistent_handle_reused_across_forces(self, tmp_path):
+        """Regression: the mirror used to reopen + fsync the file on every
+        force; it must now write through one persistent handle."""
+        path = tmp_path / "wal.jsonl"
+        log = WriteAheadLog(mirror_path=str(path))
+        log.append(w.BEGIN, T1)
+        log.force()
+        handle = log._mirror_fh
+        assert handle is not None
+        log.append(w.COMMIT, T1)
+        log.force()
+        assert log._mirror_fh is handle
+        log.close()
+        assert log._mirror_fh is None
+
+
+class TestGroupCommit:
+    """WAL group commit: simulated durability per force, one physical sync
+    per barrier (docs/PROTOCOLS.md §11)."""
+
+    def _mirror_lines(self, path):
+        return path.read_text().strip().splitlines() if path.exists() else []
+
+    def test_force_advances_durability_without_sync(self, tmp_path):
+        from repro.core.instrument import IOPATH_STATS
+
+        path = tmp_path / "wal.jsonl"
+        log = WriteAheadLog(mirror_path=str(path), group_commit=True)
+        IOPATH_STATS.reset()
+        for _ in range(5):
+            log.append(w.BEGIN, T1)
+            log.force()
+        assert log.durable_length == 5  # durability contract unchanged
+        assert IOPATH_STATS.wal_syncs == 0  # ...but no physical sync yet
+        assert len(self._mirror_lines(path)) == 5  # rows are written (buffered)
+        assert log.sync() is True
+        assert IOPATH_STATS.wal_syncs == 1  # five forces, one fsync
+        assert log.sync() is False  # barrier is idempotent
+
+    def test_auto_sync_at_group_max(self):
+        from repro.core.instrument import IOPATH_STATS
+
+        log = WriteAheadLog(group_commit=True, group_max=3)
+        IOPATH_STATS.reset()
+        for _ in range(7):
+            log.append(w.BEGIN, T1)
+            log.force()
+        # windows of 3: syncs fire at forces 3 and 6, force 7 stays pending
+        assert IOPATH_STATS.wal_syncs == 2
+        assert log.sync() is True
+
+    def test_mirror_equals_durable_prefix_after_crash(self, tmp_path):
+        """The regression the group-commit window must not introduce: after
+        lose_unforced() the mirror file holds exactly the records up to
+        _forced_upto — coalesced-but-unsynced rows included, volatile tail
+        excluded."""
+        import json
+
+        path = tmp_path / "wal.jsonl"
+        log = WriteAheadLog(mirror_path=str(path), group_commit=True)
+        log.append(w.BEGIN, T1)
+        log.append(w.COMMIT, T1)
+        log.force()
+        log.append(w.BEGIN, T2)
+        log.force()
+        log.append(w.UPDATE, T2, A, "volatile")  # never forced
+        log.lose_unforced()
+        lines = self._mirror_lines(path)
+        assert len(lines) == log.durable_length == 3
+        assert [json.loads(l)["lsn"] for l in lines] == [
+            r.lsn for r in log.durable_records()
+        ]
+
+    def test_mirror_equals_durable_prefix_after_torn_force(self, tmp_path):
+        """Torn force during a coalescing window: all-but-last pending
+        records become durable and the mirror agrees exactly."""
+        import json
+
+        path = tmp_path / "wal.jsonl"
+        log = WriteAheadLog(mirror_path=str(path), group_commit=True)
+        log.append(w.BEGIN, T1)
+        log.force()  # pending sync from an earlier force
+        log.append(w.UPDATE, T1, A, "v1")
+        log.append(w.COMMIT, T1)
+        made_durable = log.torn_force()
+        assert made_durable == 1  # UPDATE survives, COMMIT is torn
+        log.lose_unforced()
+        lines = self._mirror_lines(path)
+        assert len(lines) == log.durable_length == 2
+        assert [json.loads(l)["lsn"] for l in lines] == [
+            r.lsn for r in log.durable_records()
+        ]
+
+    def test_torn_force_with_nothing_pending_still_drains_window(self, tmp_path):
+        from repro.core.instrument import IOPATH_STATS
+
+        path = tmp_path / "wal.jsonl"
+        log = WriteAheadLog(mirror_path=str(path), group_commit=True)
+        log.append(w.BEGIN, T1)
+        log.force()
+        IOPATH_STATS.reset()
+        log.append(w.COMMIT, T1)  # exactly one pending record: torn away
+        assert log.torn_force() == 0
+        assert IOPATH_STATS.wal_syncs == 1  # earlier force's row hit disk
+        assert len(self._mirror_lines(path)) == 1
+
+    def test_checkpoint_drains_window(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        log = WriteAheadLog(mirror_path=str(path), group_commit=True)
+        log.append(w.BEGIN, T1)
+        log.append(w.COMMIT, T1)
+        log.force()
+        log.checkpoint({"a": 1})
+        assert log._pending_syncs == 0
+
+    def test_store_sync_delegates_to_wal(self):
+        from repro.core.instrument import IOPATH_STATS
+        from repro.txn.store import ObjectStore
+
+        store = ObjectStore("gc", group_commit=True)
+        IOPATH_STATS.reset()
+        store.wal.append(w.BEGIN, T1)
+        store.wal.force()
+        assert IOPATH_STATS.wal_syncs == 0
+        assert store.sync() is True
+        assert IOPATH_STATS.wal_syncs == 1
