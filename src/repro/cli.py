@@ -360,6 +360,7 @@ def _demo_distributed(args, module, inputs, registry) -> int:
         sweep_interval=args.sweep_interval,
         registry=registry,
         resilience=resilience,
+        replicas=args.replicas,
     )
     crasher = None
     if args.chaos_interval > 0.0:
@@ -377,9 +378,20 @@ def _demo_distributed(args, module, inputs, registry) -> int:
     if crasher is not None:
         crasher.stop()
     print(f"outcome: {result.get('outcome')}  (status: {result['status']})\n")
-    print(system.execution.trace(iid))
+    service = system.primary_execution() or system.execution
+    print(service.trace(iid))
     print()
-    report = system.execution.resilience_report()
+    if args.replicas > 0:
+        for replica in system.execution_replicas:
+            status = replica.repl_status()
+            print(
+                f"{status['name']}: role={status['role']} "
+                f"epoch={status['epoch']} isr={status['isr']} "
+                f"promotions={status['stats']['promotions']} "
+                f"resyncs={status['stats']['resyncs']}"
+            )
+        print()
+    report = service.resilience_report()
     stats = report["stats"]
     print(
         f"dispatches={stats['dispatches']} redispatches={stats['redispatches']} "
@@ -440,6 +452,10 @@ def cmd_chaos_sweep(args: argparse.Namespace) -> int:
         result = sweep.random_sweep(args.seeds)
         print(f"random nemesis sweep ({args.seeds} seeds):", result.summary())
         failures += len(result.failures)
+    if args.mode in ("all", "failover"):
+        result = sweep.failover_sweep(replicas=args.replicas)
+        print(f"failover sweep ({args.replicas} replicas):", result.summary())
+        failures += len(result.failures) + len(result.unreached)
     return 1 if failures else 0
 
 
@@ -580,6 +596,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker-node pool size for --distributed (default: 3)",
     )
     demo.add_argument(
+        "--replicas", type=int, default=0, metavar="N",
+        help="execution-service replicas for --distributed (0 = the legacy "
+        "unreplicated service; N > 0 adds a lease arbiter, one primary and "
+        "N-1 hot standbys with lease-fenced failover)",
+    )
+    demo.add_argument(
         "--loss-rate", type=float, default=0.0, metavar="P",
         help="message-loss probability for --distributed (default: 0)",
     )
@@ -629,12 +651,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(exit 1 if any oracle fires or a crash point goes unreached)",
     )
     chaos.add_argument(
-        "--mode", choices=["all", "exhaustive", "random"], default="all",
-        help="which passes to run (default: all)",
+        "--mode", choices=["all", "exhaustive", "random", "failover"],
+        default="all",
+        help="which passes to run (default: all; 'failover' runs the "
+        "replicated kill/partition/resurrect-the-primary scenarios over "
+        "every paper workload)",
     )
     chaos.add_argument(
-        "--workload", choices=["order", "trip"], default="order",
+        "--workload", choices=["order", "trip", "service-impact"],
+        default="order",
         help="paper application to run under chaos (default: order)",
+    )
+    chaos.add_argument(
+        "--replicas", type=int, default=2, metavar="N",
+        help="execution-service replicas for the failover pass (default: 2)",
     )
     chaos.add_argument("--workers", type=int, default=2, metavar="N")
     chaos.add_argument(

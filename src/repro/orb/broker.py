@@ -33,6 +33,14 @@ class CommFailure(RuntimeError):
     """Communication with the target object failed (node down / partition)."""
 
 
+class Fenced(CommFailure):
+    """The servant refused the invocation because the caller's view of who
+    serves this name is stale (e.g. a demoted replication standby).  A
+    subclass of :class:`CommFailure` so existing retry logic treats it as a
+    transient routing failure — retry after re-resolving — rather than an
+    application error (docs/PROTOCOLS.md §12)."""
+
+
 class BadInterface(TypeError):
     """Servant or invocation does not match the declared interface."""
 
@@ -67,6 +75,10 @@ class _Registration:
     interface: Interface
     servant: Any
     node: Node
+    # Optional gatekeeper consulted on every invocation: returns a refusal
+    # reason (-> Fenced raised at the caller) or None to admit the call.
+    # Replicated services fence all client operations while not primary.
+    fence: Optional[Callable[[str], Optional[str]]] = None
 
 
 @dataclass
@@ -88,9 +100,16 @@ class ObjectBroker:
 
     # -- naming -----------------------------------------------------------------
 
-    def register(self, name: str, interface: Interface, servant: Any, node: Node) -> None:
+    def register(
+        self,
+        name: str,
+        interface: Interface,
+        servant: Any,
+        node: Node,
+        fence: Optional[Callable[[str], Optional[str]]] = None,
+    ) -> None:
         interface.validate_servant(servant)
-        self._registry[name] = _Registration(name, interface, servant, node)
+        self._registry[name] = _Registration(name, interface, servant, node, fence)
 
     def unregister(self, name: str) -> None:
         self._registry.pop(name, None)
@@ -138,6 +157,11 @@ class ObjectBroker:
                     f"network partition between {caller.name!r} and {registration.node.name!r}"
                 )
             self.stats.simulated_rtt += self.rtt
+        if registration.fence is not None:
+            reason = registration.fence(operation)
+            if reason is not None:
+                self.stats.failures += 1
+                raise Fenced(f"{target}.{operation}: {reason}")
         m_args, m_kwargs = marshal_call(args, kwargs) if remote else (args, kwargs)
         method = getattr(registration.servant, operation)
         result = method(*m_args, **m_kwargs)
@@ -165,6 +189,16 @@ class ObjectBroker:
         def perform() -> None:
             if not registration.node.alive:
                 return
+            if registration.fence is not None:
+                # re-evaluated at delivery time: the servant may have been
+                # demoted while the request leg was in flight
+                reason = registration.fence(operation)
+                if reason is not None:
+                    self.stats.failures += 1
+                    if on_error is not None:
+                        failure = Fenced(f"{target}.{operation}: {reason}")
+                        self._reply(registration.node, caller, lambda: on_error(failure))
+                    return
             try:
                 result = marshal(getattr(registration.servant, operation)(*m_args))
             except Exception as exc:  # marshalled back as the error reply

@@ -37,8 +37,9 @@ from __future__ import annotations
 
 import itertools
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from ..core.errors import ExecutionError, WorkflowError
 from ..core.instrument import IOPATH_STATS
@@ -201,6 +202,14 @@ class ExecutionService(Service):
         )
         self.manager = TransactionManager(f"{name}-tm")
         self.runtimes: Dict[str, _Runtime] = {}
+        # Fencing epoch: a durable incarnation counter stamped on every
+        # journal entry and worker dispatch.  For a standalone service it
+        # simply counts store-backed incarnations; under replication
+        # (repro.replication) it is the lease epoch, and stale-epoch traffic
+        # is rejected so a resurrected old primary cannot split-brain the
+        # journal (docs/PROTOCOLS.md §12).
+        self.epoch = 0
+        self._sweep_armed = False
         self.stats = {
             "dispatches": 0,
             "redispatches": 0,
@@ -211,6 +220,7 @@ class ExecutionService(Service):
             "abandoned": 0,
             "failovers": 0,
             "staggered": 0,
+            "fenced_replies": 0,
         }
         self.rlog = ResilienceLog(self.resilience.event_limit)
         self.health = HealthRegistry(
@@ -223,6 +233,7 @@ class ExecutionService(Service):
     # -- life-cycle -------------------------------------------------------------------
 
     def on_start(self) -> None:
+        self.epoch = self._advance_epoch()
         self._arm_sweeper()
 
     def on_recover(self) -> None:
@@ -231,9 +242,11 @@ class ExecutionService(Service):
         design: the recovered coordinator relearns the fleet."""
         self.stats["recoveries"] += 1
         crash_point("exec.recover.pre", self)
+        self.epoch = self._advance_epoch()
         self.runtimes = {}
         self.health.reset()
         self._pending_acks.clear()
+        self._sweep_armed = False  # the old sweep chain died with the crash
         # buffered journal entries died with the crash, exactly like the
         # volatile tree state they described; the durable journal is truth
         self._jbuf.clear()
@@ -247,6 +260,56 @@ class ExecutionService(Service):
                     self._arm_deadlines(runtime)
         crash_point("exec.recover.replayed", self)
         self._arm_sweeper()
+
+    def _advance_epoch(self) -> int:
+        """Durably advance the fencing epoch for this incarnation.
+
+        The counter lives in the service's own store so a recovered service
+        never reuses an epoch it already journaled under — the property the
+        recovery stagger key and the journal's epoch-monotonicity oracle
+        rely on.  Replicated services override this: their epoch is the
+        lease epoch, granted by the lease service."""
+        if not self.durable:
+            return self.epoch + 1
+        advanced = self.store.get_committed("exec-epoch", 0) + 1
+        self.manager.run(lambda txn: txn.write(self.store, "exec-epoch", advanced))
+        self.store.sync()
+        return advanced
+
+    def is_primary(self) -> bool:
+        """Whether this service currently owns its instances' journals.  A
+        standalone service always does; replicated standbys return False and
+        stay passive (no dispatch, no journaling) until promoted."""
+        return True
+
+    def replication_settled(self) -> bool:
+        """Whether every durability barrier taken so far is also replicated
+        (trivially true without replication).  The harness gates its
+        durability observations on this: an outcome only counts as
+        *acknowledged* once no single failure can lose it."""
+        return True
+
+    def _post_barrier(self) -> None:
+        """Hook run after every durability barrier; replication ships the
+        newly durable log suffix here.  No-op standalone."""
+
+    @contextmanager
+    def _journal_guard(self) -> Iterator[None]:
+        """Error-path durability for buffered journal entries.
+
+        An exception between buffering an entry and the next durability
+        barrier must not strand the buffer: the tree has already applied the
+        entry, so losing it would let the in-memory state run ahead of the
+        durable journal for up to ``journal_window``.  Flushing on the error
+        path closes that gap.  ``SimulatedCrash`` is a BaseException and is
+        deliberately *not* caught — a machine crash loses the buffer together
+        with the volatile tree state it described, which is the modelled
+        semantics."""
+        try:
+            yield
+        except Exception:
+            self.flush_journal()
+            raise
 
     # -- ORB operations ---------------------------------------------------------------------
 
@@ -341,22 +404,24 @@ class ExecutionService(Service):
         """Atomically apply a modified script to the *running* instance."""
         runtime = self._runtime(iid)
         new_script = _compile_cached(new_script_text)
-        runtime.tree.reconfigure(new_script)  # raises without effect if illegal
-        runtime.script = new_script
-        runtime.has_deadlines = _script_has_deadlines(new_script)
-        self._journal(runtime, {"type": "reconfig", "script_text": new_script_text})
-        self._dispatch_pending(runtime)
-        self.flush_journal()  # client observes the reconfiguration as durable
+        with self._journal_guard():
+            runtime.tree.reconfigure(new_script)  # raises without effect if illegal
+            runtime.script = new_script
+            runtime.has_deadlines = _script_has_deadlines(new_script)
+            self._journal(runtime, {"type": "reconfig", "script_text": new_script_text})
+            self._dispatch_pending(runtime)
+            self.flush_journal()  # client observes the reconfiguration as durable
         return True
 
     def force_abort(self, iid: str, task_path: str, abort_name: Optional[str] = None) -> bool:
         runtime = self._runtime(iid)
-        runtime.tree.force_abort(task_path, abort_name)
-        self._journal(
-            runtime, {"type": "force_abort", "path": task_path, "name": abort_name}
-        )
-        self._dispatch_pending(runtime)
-        self.flush_journal()  # client observes the abort as durable
+        with self._journal_guard():
+            runtime.tree.force_abort(task_path, abort_name)
+            self._journal(
+                runtime, {"type": "force_abort", "path": task_path, "name": abort_name}
+            )
+            self._dispatch_pending(runtime)
+            self.flush_journal()  # client observes the abort as durable
         return True
 
     def external_tasks(self, iid: str) -> List[str]:
@@ -503,11 +568,12 @@ class ExecutionService(Service):
             "exec": exec_index,
             "result": result_to_plain(result),
         }
-        self._journal(runtime, entry)
-        runtime.external.discard((task_path, exec_index))
-        self._apply_entry(runtime, entry)
-        self._dispatch_pending(runtime)
-        self.flush_journal()  # client observes the completion as durable
+        with self._journal_guard():
+            self._journal(runtime, entry)
+            runtime.external.discard((task_path, exec_index))
+            self._apply_entry(runtime, entry)
+            self._dispatch_pending(runtime)
+            self.flush_journal()  # client observes the completion as durable
         return True
 
     # -- dispatching -------------------------------------------------------------------------
@@ -634,6 +700,8 @@ class ExecutionService(Service):
                 path=node.path,
                 count=runtime.exec_counter.get(node.path, 0),
             ) -> None:
+                if not self.is_primary():
+                    return  # demoted: the new primary re-arms from its journal
                 if runtime is not self.runtimes.get(runtime.iid):
                     return  # superseded by a recovery replay
                 if runtime.tree.status.value != "running":
@@ -667,6 +735,11 @@ class ExecutionService(Service):
         flight: _InFlight,
         hedge: bool = False,
     ) -> None:
+        if not self.is_primary():
+            # Demoted *mid-event* (e.g. the durability barrier below demoted
+            # us because the lease service was unreachable): the rest of this
+            # scheduling pump must not dispatch under the stale epoch.
+            return
         # Durability barrier: a dispatched task's execution (and eventual
         # reply) depends on every journal entry that made it ready.  Were the
         # send to outrun the journal, a crash could replay a shorter journal
@@ -678,6 +751,9 @@ class ExecutionService(Service):
             return
         if not self.worker_names:
             raise ExecutionError("no workers configured")
+        # stamp at send time, not build time: a flight drained before a
+        # promotion must carry the promoted epoch when it finally goes out
+        flight.request["epoch"] = self.epoch
         now = self._now()
         cfg = self.resilience
         if not cfg.enabled:
@@ -832,10 +908,15 @@ class ExecutionService(Service):
         )
 
     def _arm_sweeper(self) -> None:
-        if self.node is None or not self.node.alive:
+        if self.node is None or not self.node.alive or self._sweep_armed:
             return
+        self._sweep_armed = True
 
         def sweep() -> None:
+            if not self.is_primary():
+                # demoted to standby: let the chain die; promotion re-arms it
+                self._sweep_armed = False
+                return
             now = self._now()
             cfg = self.resilience
             for runtime in list(self.runtimes.values()):
@@ -879,6 +960,7 @@ class ExecutionService(Service):
                     if now - sent_at >= horizon:
                         del self._pending_acks[ack_key]
                         self.health.on_timeout(ack_key[3], now)
+            self._sweep_armed = False
             self._arm_sweeper()
 
         self.node.call_after(self.sweep_interval, sweep, label=f"{self.name}-sweep")
@@ -918,6 +1000,8 @@ class ExecutionService(Service):
             self._handle_mark(payload)
 
     def _handle_mark(self, payload: Dict[str, Any]) -> None:
+        if not self.is_primary():
+            return  # demoted: the current primary owns this instance now
         crash_point("exec.mark.recv", self)
         runtime = self.runtimes.get(payload.get("instance_id", ""))
         if runtime is None:
@@ -932,11 +1016,20 @@ class ExecutionService(Service):
             "name": payload["name"],
             "objects": payload["objects"],
         }
-        self._journal(runtime, entry)
-        self._apply_mark(runtime, entry)
-        self._dispatch_pending(runtime)
+        with self._journal_guard():
+            self._journal(runtime, entry)
+            self._apply_mark(runtime, entry)
+            self._dispatch_pending(runtime)
 
     def _handle_reply(self, iid: str, reply: Dict[str, Any]) -> None:
+        if not self.is_primary():
+            return  # demoted: late replies belong to the current primary
+        if reply.get("fenced"):
+            # a worker refused a stale-epoch dispatch: never journaled as a
+            # task failure — the flight stays open for the rightful primary
+            self.stats["fenced_replies"] += 1
+            self._on_fenced_reply(reply)
+            return
         crash_point("exec.reply.recv", self)
         runtime = self.runtimes.get(iid)
         if runtime is None:
@@ -949,50 +1042,55 @@ class ExecutionService(Service):
         if journal_key in runtime.journal_keys:
             self.stats["duplicate_replies"] += 1
             return
-        # marks carried in the reply (the datagram copies may have been lost)
-        for mark in reply.get("marks", ()):
-            mark_key = ("mark", path, exec_index, mark["name"])
-            if mark_key in runtime.journal_keys:
-                continue
-            entry = {
-                "type": "mark",
-                "path": path,
-                "exec": exec_index,
-                "name": mark["name"],
-                "objects": mark["objects"],
-            }
-            self._journal(runtime, entry)
-            self._apply_mark(runtime, entry)
-        if reply.get("ok") and reply.get("external"):
-            # the task parked itself awaiting an external completion; stop
-            # the sweeper from re-dispatching it and remember it durably
-            if (path, exec_index) in runtime.external:
-                self.stats["duplicate_replies"] += 1
+        with self._journal_guard():
+            # marks carried in the reply (the datagram copies may have been lost)
+            for mark in reply.get("marks", ()):
+                mark_key = ("mark", path, exec_index, mark["name"])
+                if mark_key in runtime.journal_keys:
+                    continue
+                entry = {
+                    "type": "mark",
+                    "path": path,
+                    "exec": exec_index,
+                    "name": mark["name"],
+                    "objects": mark["objects"],
+                }
+                self._journal(runtime, entry)
+                self._apply_mark(runtime, entry)
+            if reply.get("ok") and reply.get("external"):
+                # the task parked itself awaiting an external completion; stop
+                # the sweeper from re-dispatching it and remember it durably
+                if (path, exec_index) in runtime.external:
+                    self.stats["duplicate_replies"] += 1
+                    return
+                entry = {"type": "external", "path": path, "exec": exec_index}
+                self._journal(runtime, entry)
+                self._resolve_flight(runtime, flight_key)
+                runtime.external.add((path, exec_index))
                 return
-            entry = {"type": "external", "path": path, "exec": exec_index}
+            if reply.get("ok"):
+                entry = {
+                    "type": "result",
+                    "path": path,
+                    "exec": exec_index,
+                    "result": reply["result"],
+                }
+            else:
+                entry = {
+                    "type": "failure",
+                    "path": path,
+                    "exec": exec_index,
+                    "error": reply.get("error", "unknown"),
+                }
             self._journal(runtime, entry)
             self._resolve_flight(runtime, flight_key)
-            runtime.external.add((path, exec_index))
-            return
-        if reply.get("ok"):
-            entry = {
-                "type": "result",
-                "path": path,
-                "exec": exec_index,
-                "result": reply["result"],
-            }
-        else:
-            entry = {
-                "type": "failure",
-                "path": path,
-                "exec": exec_index,
-                "error": reply.get("error", "unknown"),
-            }
-        self._journal(runtime, entry)
-        self._resolve_flight(runtime, flight_key)
-        self._apply_entry(runtime, entry)
-        crash_point("exec.reply.applied", self)
-        self._dispatch_pending(runtime)
+            self._apply_entry(runtime, entry)
+            crash_point("exec.reply.applied", self)
+            self._dispatch_pending(runtime)
+
+    def _on_fenced_reply(self, reply: Dict[str, Any]) -> None:
+        """Hook for replication: a fenced reply carries the highest epoch the
+        worker has seen, evidence that a newer primary exists."""
 
     def _credit_reply(
         self, runtime: _Runtime, flight_key: Tuple[str, int], reply: Dict[str, Any]
@@ -1034,6 +1132,11 @@ class ExecutionService(Service):
     # -- journal ----------------------------------------------------------------------------------
 
     def _journal(self, runtime: _Runtime, entry: Dict[str, Any]) -> None:
+        # Provenance stamp: which incarnation wrote this entry.  Inert for
+        # dedup keys and replay; the epoch-monotonicity and single-writer
+        # oracles (sim/oracles.py) audit these fields across failovers.
+        entry["epoch"] = self.epoch
+        entry["writer"] = self.name
         runtime.journal_keys.add(self._entry_key(entry))
         if not self.durable:
             runtime.volatile_journal.append(entry)
@@ -1061,6 +1164,7 @@ class ExecutionService(Service):
         IOPATH_STATS.journal_batches += 1
         crash_point("exec.journal.post", self)
         self.store.sync()
+        self._post_barrier()
 
     def flush_journal(self) -> int:
         """Durability barrier: commit every buffered journal entry in one
@@ -1072,6 +1176,7 @@ class ExecutionService(Service):
         batch and recovery sees a contiguous journal either way.  Returns
         the number of entries made durable."""
         if not self._jbuf:
+            self._post_barrier()  # replication still ships any unshipped suffix
             return 0
         batch, self._jbuf = self._jbuf, []
 
@@ -1092,6 +1197,7 @@ class ExecutionService(Service):
         IOPATH_STATS.journal_batches += 1
         crash_point("exec.journal.post", self)
         self.store.sync()
+        self._post_barrier()
         return len(batch)
 
     def _arm_journal_window(self) -> None:
@@ -1187,21 +1293,28 @@ class ExecutionService(Service):
         for entry in journal:
             if entry is None:
                 break
-            runtime.journal_keys.add(self._entry_key(entry))
-            if entry["type"] in ("result", "failure"):
-                runtime.in_flight.pop((entry["path"], entry["exec"]), None)
-                runtime.external.discard((entry["path"], entry["exec"]))
-            elif entry["type"] == "external":
-                runtime.in_flight.pop((entry["path"], entry["exec"]), None)
-                runtime.external.add((entry["path"], entry["exec"]))
-            self._apply_entry(runtime, entry)
-            self._drain(runtime)
+            self._replay_entry(runtime, entry)
         # anything still in flight was unanswered at crash time: it will be
         # re-dispatched (staggered, see _resume_flights) with the pin already
         # abandoned — the original target may be what crashed
         for flight in runtime.in_flight.values():
             flight.redispatches += 1
         return runtime
+
+    def _replay_entry(self, runtime: _Runtime, entry: Dict[str, Any]) -> None:
+        """Apply one journal entry to a replaying runtime.  Shared by crash
+        recovery (`_replay_from`) and the replication standby's incremental
+        warm image, which applies entries as they arrive instead of all at
+        once."""
+        runtime.journal_keys.add(self._entry_key(entry))
+        if entry["type"] in ("result", "failure"):
+            runtime.in_flight.pop((entry["path"], entry["exec"]), None)
+            runtime.external.discard((entry["path"], entry["exec"]))
+        elif entry["type"] == "external":
+            runtime.in_flight.pop((entry["path"], entry["exec"]), None)
+            runtime.external.add((entry["path"], entry["exec"]))
+        self._apply_entry(runtime, entry)
+        self._drain(runtime)
 
     def _resume_flights(self, runtime: _Runtime) -> None:
         """Re-send every flight that survived a recovery replay.
@@ -1211,11 +1324,15 @@ class ExecutionService(Service):
         *re*-dispatched on the same later sweep tick).  With resilience
         enabled, each flight instead gets a deterministic jittered offset
         inside ``policy.recovery_stagger``, spreading the post-recovery load
-        over the window; the jitter key includes the recovery count so
-        successive recoveries stagger differently.
+        over the window; the jitter key includes the durable fencing epoch so
+        successive recoveries stagger differently.  (The in-memory
+        ``stats["recoveries"]`` counter is wrong for this: it restarts at the
+        same value on a freshly promoted standby, which would make
+        post-failover resends stagger identically to the dead primary's first
+        recovery — the epoch survives both restart and failover.)
         """
         cfg = self.resilience
-        epoch = self.stats["recoveries"]
+        epoch = self.epoch
         for key, flight in sorted(runtime.in_flight.items(), key=lambda kv: kv[0]):
             if (
                 not cfg.enabled
@@ -1239,6 +1356,8 @@ class ExecutionService(Service):
             )
 
             def fire(runtime=runtime, key=key) -> None:
+                if not self.is_primary():
+                    return  # demoted while the stagger timer was pending
                 if self.runtimes.get(runtime.iid) is not runtime:
                     return  # superseded by another recovery replay
                 flight = runtime.in_flight.get(key)

@@ -17,8 +17,15 @@ from ..engine.registry import ImplementationRegistry
 from ..net.clock import EventClock
 from ..net.network import LatencyModel, Network
 from ..net.node import Node
-from ..orb.broker import ObjectBroker
+from ..orb.broker import CommFailure, ObjectBroker
 from ..orb.proxy import Proxy
+from ..replication import (
+    LEASE_INTERFACE,
+    LeaseService,
+    REPLICA_INTERFACE,
+    ReplicatedExecutionService,
+    Role,
+)
 from ..resilience import ResilienceConfig
 from ..txn.store import ObjectStore
 from .execution import EXECUTION_INTERFACE, ExecutionService
@@ -52,6 +59,9 @@ class WorkflowSystem:
         journal_window: float = 5.0,
         group_commit: bool = True,
         mirror_path: Optional[str] = None,
+        replicas: int = 0,
+        lease_duration: float = 60.0,
+        repl_interval: float = 5.0,
     ) -> None:
         """``resilience`` tunes the adaptive dispatch layer (backoff, circuit
         breakers, health routing, hedging).  Defaults to
@@ -65,7 +75,16 @@ class WorkflowSystem:
         transaction per durability barrier and ``group_commit`` coalesces
         the execution store's WAL mirror fsyncs; ``mirror_path`` attaches a
         real on-disk JSON-lines mirror so those fsyncs have physical cost
-        (benchmarks use this to measure fsyncs/step honestly)."""
+        (benchmarks use this to measure fsyncs/step honestly).
+
+        ``replicas`` > 0 builds a replicated execution service instead of a
+        standalone one (docs/PROTOCOLS.md §12): that many
+        :class:`~repro.replication.ReplicatedExecutionService` copies — one
+        per node — plus a :class:`~repro.replication.LeaseService` arbiter.
+        The first replica wins the bootstrap lease and registers itself under
+        the public ``"execution"`` name; the rest tail its WAL as warm
+        standbys and take over (with a fresh fencing epoch) when the lease
+        lapses.  ``replicas=0`` is the legacy unreplicated layout, unchanged."""
         self.clock = EventClock()
         self.network = Network(
             self.clock,
@@ -99,32 +118,96 @@ class WorkflowSystem:
             self.workers.append(worker)
             worker_names.append(name)
 
-        self.execution_node = Node("execution-node", self.clock, self.network)
-        self.execution_store = ObjectStore(
-            "execution-store", mirror_path=mirror_path, group_commit=group_commit
+        resilience = resilience or ResilienceConfig.for_timeouts(
+            dispatch_timeout, sweep_interval, seed=seed
         )
-        self.execution = ExecutionService(
-            "execution",
-            self.execution_store,
-            self.broker,
-            repository_name="repository",
-            worker_names=worker_names,
-            durable=durable,
-            dispatch_timeout=dispatch_timeout,
-            sweep_interval=sweep_interval,
-            resilience=resilience
-            or ResilienceConfig.for_timeouts(
-                dispatch_timeout, sweep_interval, seed=seed
-            ),
-            journal_batch=journal_batch,
-            journal_window=journal_window,
-        )
-        self.execution_node.install(self.execution)
-        self.broker.register(
-            "execution", EXECUTION_INTERFACE, self.execution, self.execution_node
-        )
+        self.lease_node: Optional[Node] = None
+        self.lease: Optional[LeaseService] = None
+        self.replica_nodes: List[Node] = []
+        self.execution_replicas: List[ReplicatedExecutionService] = []
+        if replicas > 0:
+            # The arbiter comes up first: replicas acquire during on_start.
+            self.lease_node = Node("lease-node", self.clock, self.network)
+            self.lease_store = ObjectStore("lease-store")
+            self.lease = LeaseService("lease", self.lease_store, duration=lease_duration)
+            self.lease_node.install(self.lease)
+            self.broker.register("lease", LEASE_INTERFACE, self.lease, self.lease_node)
+
+            replica_names = [f"execution-r{i + 1}" for i in range(replicas)]
+            for i, rname in enumerate(replica_names):
+                # replica 1 keeps the legacy node name so nemesis schedules
+                # written against "execution-node" hit the bootstrap primary
+                node_name = "execution-node" if i == 0 else f"standby-node-{i + 1}"
+                node = Node(node_name, self.clock, self.network)
+                store = ObjectStore(
+                    f"execution-store-r{i + 1}",
+                    mirror_path=mirror_path if i == 0 else None,
+                    group_commit=group_commit,
+                )
+                service = ReplicatedExecutionService(
+                    rname,
+                    store,
+                    self.broker,
+                    repository_name="repository",
+                    worker_names=worker_names,
+                    lease_name="lease",
+                    peer_names=replica_names,
+                    repl_interval=repl_interval,
+                    durable=True,
+                    dispatch_timeout=dispatch_timeout,
+                    sweep_interval=sweep_interval,
+                    resilience=resilience,
+                    journal_batch=journal_batch,
+                    journal_window=journal_window,
+                )
+                self.replica_nodes.append(node)
+                self.execution_replicas.append(service)
+                # every replica is reachable under its own (unfenced-stream)
+                # name before any on_start runs, so the bootstrap primary can
+                # ship to standbys installed after it
+                self.broker.register(
+                    rname, REPLICA_INTERFACE, service, node, fence=service._fence
+                )
+            for node, service in zip(self.replica_nodes, self.execution_replicas):
+                node.install(service)  # replica 1 wins the bootstrap lease
+            self.execution_node = self.replica_nodes[0]
+            self.execution_store = self.execution_replicas[0].store
+            self.execution: ExecutionService = self.execution_replicas[0]
+        else:
+            self.execution_node = Node("execution-node", self.clock, self.network)
+            self.execution_store = ObjectStore(
+                "execution-store", mirror_path=mirror_path, group_commit=group_commit
+            )
+            self.execution = ExecutionService(
+                "execution",
+                self.execution_store,
+                self.broker,
+                repository_name="repository",
+                worker_names=worker_names,
+                durable=durable,
+                dispatch_timeout=dispatch_timeout,
+                sweep_interval=sweep_interval,
+                resilience=resilience,
+                journal_batch=journal_batch,
+                journal_window=journal_window,
+            )
+            self.execution_node.install(self.execution)
+            self.broker.register(
+                "execution", EXECUTION_INTERFACE, self.execution, self.execution_node
+            )
 
         self.client_node = Node("client-node", self.clock, self.network)
+
+    def primary_execution(self) -> Optional[ExecutionService]:
+        """The execution service currently owning the instances: the live
+        primary replica when replicated, the single service otherwise (or
+        None while no live primary exists — e.g. mid-failover)."""
+        if not self.execution_replicas:
+            return self.execution if self.execution_node.alive else None
+        for node, service in zip(self.replica_nodes, self.execution_replicas):
+            if node.alive and service.role is Role.PRIMARY:
+                return service
+        return None
 
     # -- client-side proxies (what the paper's browser tools talk to) ----------------
 
@@ -146,9 +229,23 @@ class WorkflowSystem:
         inputs: Optional[Mapping[str, Any]] = None,
         input_set: str = "main",
     ) -> str:
-        return self.execution_proxy().instantiate(
-            script_name, root_task, input_set, dict(inputs or {})
-        )
+        if not self.execution_replicas:
+            return self.execution_proxy().instantiate(
+                script_name, root_task, input_set, dict(inputs or {})
+            )
+        # Replicated: the "execution" alias may momentarily point at a dead
+        # or demoted replica mid-failover; retry across lease turnover like
+        # any CORBA client facing COMM_FAILURE would.
+        last: Optional[Exception] = None
+        for _attempt in range(40):
+            try:
+                return self.execution_proxy().instantiate(
+                    script_name, root_task, input_set, dict(inputs or {})
+                )
+            except CommFailure as exc:
+                last = exc
+                self.clock.advance(self.execution.repl_interval)
+        raise last if last is not None else CommFailure("no primary")
 
     def status(self, iid: str) -> Dict[str, Any]:
         return self.execution_proxy().status(iid)
@@ -170,16 +267,18 @@ class WorkflowSystem:
         deadline = self.clock.now + max_time
         while self.clock.now < deadline:
             self.clock.advance(check_every)
-            if not self.execution_node.alive:
-                continue
-            runtime = self.execution.runtimes.get(iid)
+            service = self.primary_execution()
+            if service is None:
+                continue  # node down / failover in progress: wait it out
+            runtime = service.runtimes.get(iid)
             if runtime is None:
-                if self.execution.durable:
-                    continue  # not yet recovered
+                if service.durable:
+                    continue  # not yet recovered (or not yet replicated over)
                 break  # lost for good: the ablation outcome
             if runtime.tree.status.value in TERMINAL:
                 break
-        if self.execution_node.alive and iid in self.execution.runtimes:
-            return self.execution.result(iid)
+        service = self.primary_execution()
+        if service is not None and iid in service.runtimes:
+            return service.result(iid)
         return {"instance": iid, "status": "lost", "outcome": None, "objects": {},
                 "marks": [], "error": "instance not present on execution node"}

@@ -49,6 +49,9 @@ class WorkRequest:
     attempt: int
     repeats: int
     reply_to: str                    # execution-service node name
+    # Fencing epoch of the dispatching execution-service incarnation; 0 means
+    # unfenced (legacy callers).  See docs/PROTOCOLS.md §12.
+    epoch: int = 0
 
     def to_plain(self) -> Dict[str, Any]:
         return dict(self.__dict__)
@@ -70,14 +73,38 @@ class TaskWorker(Service):
         super().__init__(name)
         self.registry = registry
         self.executed: List[Tuple[str, str, int]] = []  # (instance, path, index)
+        # Highest fencing epoch seen on any dispatch.  Requests from older
+        # epochs are refused without executing: a deposed primary cannot make
+        # this worker do (and ack) work behind the current primary's back.
+        # Volatile by design — a worker restart re-learns the fence from the
+        # first dispatch it sees, and the journal's exactly-once application
+        # still holds (fencing here is a liveness/efficiency aid; safety
+        # rests on the lease and the journal, see docs/PROTOCOLS.md §12).
+        self.fence_epoch = 0
 
     def execute(self, request_data: Dict[str, Any]) -> Dict[str, Any]:
         """Run one task; returns a plain-data reply.
 
         Reply shape: ``{"ok": bool, "result": ..., "marks": [...],
-        "error": str | None}`` plus the request's identity echo.
+        "error": str | None}`` plus the request's identity echo.  A request
+        carrying a stale fencing epoch gets ``{"ok": False, "fenced": True,
+        "epoch": <highest seen>}`` instead, without executing anything.
         """
         request = WorkRequest.from_plain(dict(request_data))
+        if request.epoch:
+            if request.epoch < self.fence_epoch:
+                return {
+                    "instance_id": request.instance_id,
+                    "task_path": request.task_path,
+                    "execution_index": request.execution_index,
+                    "worker": self.name,
+                    "ok": False,
+                    "fenced": True,
+                    "epoch": self.fence_epoch,
+                    "error": f"fenced: epoch {request.epoch} < {self.fence_epoch}",
+                    "marks": [],
+                }
+            self.fence_epoch = request.epoch
         crash_point("worker.execute.pre", self)
         self.executed.append(
             (request.instance_id, request.task_path, request.execution_index)

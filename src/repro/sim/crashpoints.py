@@ -128,6 +128,15 @@ CATALOGUE: Tuple[CrashPoint, ...] = (
                "work request accepted, implementation not yet run"),
     CrashPoint("worker.execute.post", "src/repro/services/worker.py",
                "implementation finished, reply not yet sent"),
+    # --- replication (hot standby + lease failover) -------------------------
+    CrashPoint("repl.lease.grant", "src/repro/replication/lease.py",
+               "lease acquire accepted, grant not yet persisted"),
+    CrashPoint("repl.tail.apply", "src/repro/replication/replica.py",
+               "standby received a log batch, nothing applied yet"),
+    CrashPoint("repl.promote.pre", "src/repro/replication/replica.py",
+               "lease won, promotion not yet started", recovery=True),
+    CrashPoint("repl.promote.post", "src/repro/replication/replica.py",
+               "standby fully promoted, serving as primary", recovery=True),
 )
 
 _BY_NAME: Dict[str, CrashPoint] = {point.name: point for point in CATALOGUE}

@@ -35,16 +35,25 @@ from .nemesis import (
     CrashAtPoint,
     CrashAtTime,
     DupBurst,
+    KillPrimary,
     LossBurst,
     NemesisSchedule,
     Partition,
+    PartitionPrimary,
     ReorderBurst,
+    ResurrectStalePrimary,
 )
 
 #: Points only visited when the harness drives compaction.
 _NEEDS_COMPACTOR = ("wal.checkpoint.", "exec.compact.")
 #: Points only visited by the harness's two-store 2PC probe.
 _NEEDS_PROBE = ("store.prepare.", "store.abort.", "txn.2pc.")
+#: Points only visited with a replicated execution service.  The lease
+#: grant and the promotion points additionally need a failover (the
+#: bootstrap grant/promotion happen before the injector is installed), which
+#: the recovery driver crash below conveniently provides: killing the
+#: primary at a journal append forces a standby through acquire + promote.
+_NEEDS_REPLICAS = ("repl.",)
 #: The driver crash paired with recovery-only points.
 _RECOVERY_DRIVER = "exec.journal.post"
 
@@ -127,8 +136,11 @@ class ChaosSweep:
     ) -> Tuple[NemesisSchedule, Dict[str, Any]]:
         """The schedule + harness configuration that makes ``point`` fire."""
         faults: List[Any] = []
-        if point.recovery:
-            # on_recover only runs after a crash: drive one first
+        replicated = point.name.startswith(_NEEDS_REPLICAS)
+        if point.recovery or (replicated and point.name != "repl.tail.apply"):
+            # on_recover only runs after a crash: drive one first.  For the
+            # replication points the same driver kills the primary, forcing
+            # the failover that makes a post-bootstrap grant/promotion happen.
             faults.append(
                 CrashAtPoint(_RECOVERY_DRIVER, downtime=self.downtime)
             )
@@ -140,6 +152,10 @@ class ChaosSweep:
             kwargs["compact_every"] = 40.0
         if point.name.startswith(_NEEDS_PROBE):
             kwargs["probe_every"] = 15.0
+        if replicated:
+            # a short lease keeps the forced failover inside the time budget
+            kwargs["replicas"] = 2
+            kwargs["lease_duration"] = 30.0
         if point.name == "exec.mark.recv" and self.workload == "order":
             # the order workload emits no marks; the trip workload does
             kwargs["workload"] = "trip"
@@ -246,6 +262,60 @@ class ChaosSweep:
                 result.failures.append(
                     self._shrink_and_record(schedule, kwargs, report)
                 )
+        return result
+
+    # -- failover pass ---------------------------------------------------------
+
+    #: Every paper workload must survive a failover (ISSUE 9 acceptance).
+    FAILOVER_WORKLOADS = ("order", "trip", "service-impact")
+
+    def failover_schedules(self) -> List[NemesisSchedule]:
+        """The canonical failover scenarios: kill the primary mid-workload
+        and resurrect it later (stale-primary return), kill it with ordinary
+        downtime, and isolate it from the cluster until its lease lapses."""
+        return [
+            NemesisSchedule(
+                [KillPrimary(at=10.0, downtime=None),
+                 ResurrectStalePrimary(at=200.0)],
+                name="failover:kill-resurrect",
+            ),
+            NemesisSchedule(
+                [KillPrimary(at=10.0, downtime=self.downtime)],
+                name="failover:kill-primary",
+            ),
+            NemesisSchedule(
+                [PartitionPrimary(at=10.0, heal_after=150.0)],
+                name="failover:partition-heal",
+            ),
+        ]
+
+    def failover_sweep(self, replicas: int = 2) -> SweepResult:
+        """Run every failover scenario against every paper workload on a
+        replicated execution service; additionally demand that each
+        replication crash point was *visited* at least once across the pass
+        (a scenario that no longer exercises promotion is itself a bug)."""
+        result = SweepResult()
+        visited: set = set()
+        for workload in self.FAILOVER_WORKLOADS:
+            for schedule in self.failover_schedules():
+                kwargs = self._harness_kwargs(seed=self.base_seed)
+                kwargs["workload"] = workload
+                kwargs["replicas"] = replicas
+                kwargs["lease_duration"] = 30.0
+                report = self._run(schedule, kwargs)
+                result.reports.append(report)
+                self._log(report)
+                visited |= {
+                    name for name, count in report.points_visited.items()
+                    if count > 0
+                }
+                if report.violations:
+                    result.failures.append(
+                        self._shrink_and_record(schedule, kwargs, report)
+                    )
+        for point in catalogue():
+            if point.name.startswith(_NEEDS_REPLICAS) and point.name not in visited:
+                result.unreached.append(f"{point.name} (failover sweep)")
         return result
 
     # -- shrinking + repro files ---------------------------------------------------

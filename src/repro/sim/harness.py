@@ -57,7 +57,7 @@ from ..txn import wal as wal_mod
 from ..txn.manager import TransactionManager
 from ..txn.store import ObjectStore
 from ..txn.wal import WriteAheadLog
-from ..workloads import paper_order, paper_trip
+from ..workloads import paper_order, paper_service_impact, paper_trip
 from . import oracles
 from .crashpoints import (
     ArmedCrash,
@@ -70,10 +70,13 @@ from .nemesis import (
     CrashAtPoint,
     CrashAtTime,
     DupBurst,
+    KillPrimary,
     LossBurst,
     NemesisSchedule,
     Partition,
+    PartitionPrimary,
     ReorderBurst,
+    ResurrectStalePrimary,
 )
 
 
@@ -100,6 +103,12 @@ WORKLOADS: Dict[str, Workload] = {
         lambda reg: paper_trip.default_registry(registry=reg),
         lambda i: {"user": f"user-{i + 1}"},
     ),
+    "service-impact": Workload(
+        "service-impact", "service-impact", paper_service_impact.SCRIPT_TEXT,
+        paper_service_impact.ROOT_TASK,
+        lambda reg: paper_service_impact.default_registry(registry=reg),
+        lambda i: {"alarmsSource": f"alarm-feed-{i + 1}"},
+    ),
 }
 
 
@@ -119,6 +128,8 @@ class SimReport:
     points_visited: Dict[str, int] = field(default_factory=dict)
     network: Dict[str, int] = field(default_factory=dict)
     end_time: float = 0.0
+    replicas: int = 0
+    replication: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -138,6 +149,8 @@ class SimReport:
             "points_visited": self.points_visited,
             "network": self.network,
             "end_time": self.end_time,
+            "replicas": self.replicas,
+            "replication": self.replication,
         }
 
     def to_json(self) -> str:
@@ -176,6 +189,9 @@ class SimHarness:
         loss_rate: float = 0.0,
         compact_every: Optional[float] = None,
         probe_every: Optional[float] = None,
+        replicas: int = 0,
+        lease_duration: float = 60.0,
+        repl_interval: float = 5.0,
     ) -> None:
         if workload not in WORKLOADS:
             raise ValueError(
@@ -193,6 +209,9 @@ class SimHarness:
         self.loss_rate = loss_rate
         self.compact_every = compact_every
         self.probe_every = probe_every
+        self.replicas = replicas
+        self.lease_duration = lease_duration
+        self.repl_interval = repl_interval
         # run state (populated by run())
         self._probe_manager: Optional[TransactionManager] = None
         self._probe_stores: List[ObjectStore] = []
@@ -200,6 +219,7 @@ class SimHarness:
         self._injector: Optional[CrashPointInjector] = None
         self._nodes: Dict[str, Node] = {}
         self._stores: Dict[str, List[Any]] = {}
+        self._managers: Dict[str, List[TransactionManager]] = {}
         self._crashes: List[Dict[str, Any]] = []
         self._violations: List[oracles.OracleViolation] = []
         self._violation_keys: Set[Tuple[str, str, str]] = set()
@@ -210,28 +230,49 @@ class SimHarness:
     def run(self) -> SimReport:
         spec = WORKLOADS[self.workload]
         system = WorkflowSystem(
-            workers=self.workers, seed=self.seed, loss_rate=self.loss_rate
+            workers=self.workers, seed=self.seed, loss_rate=self.loss_rate,
+            replicas=self.replicas, lease_duration=self.lease_duration,
+            repl_interval=self.repl_interval,
         )
         spec.binder(system.registry)
         self._system = system
-        self._nodes = {
-            node.name: node
-            for node in [
-                system.repository_node,
-                system.execution_node,
-                system.client_node,
-                *system.worker_nodes,
-            ]
-        }
-        # Only the execution node owns chaos-targeted stable storage; the
-        # repository is deliberately left unbound so deploy-time visits do
-        # not shift hit counts (see CrashPointInjector docstring).
-        self._stores = {"execution-node": [system.execution_store]}
+        nodes = [
+            system.repository_node,
+            system.execution_node,
+            system.client_node,
+            *system.worker_nodes,
+        ]
+        if system.replica_nodes:
+            nodes += system.replica_nodes[1:]  # replica 1 IS execution-node
+        if system.lease_node is not None:
+            nodes.append(system.lease_node)
+        self._nodes = {node.name: node for node in nodes}
+        # Only the execution node (and, replicated, its peers plus the lease
+        # arbiter) owns chaos-targeted stable storage; the repository is
+        # deliberately left unbound so deploy-time visits do not shift hit
+        # counts (see CrashPointInjector docstring).
         injector = CrashPointInjector(self._on_crash)
-        injector.bind(system.execution_store, "execution-node")
-        injector.bind(system.execution_store.wal, "execution-node")
-        injector.bind(system.execution.manager, "execution-node")
-        injector.bind(system.execution, "execution-node")
+        if system.execution_replicas:
+            for node, service in zip(system.replica_nodes, system.execution_replicas):
+                self._stores[node.name] = [service.store]
+                self._managers[node.name] = [service.manager]
+                injector.bind(service.store, node.name)
+                injector.bind(service.store.wal, node.name)
+                injector.bind(service.manager, node.name)
+                injector.bind(service, node.name)
+            self._stores["lease-node"] = [system.lease_store]
+            self._managers["lease-node"] = [system.lease.manager]
+            injector.bind(system.lease_store, "lease-node")
+            injector.bind(system.lease_store.wal, "lease-node")
+            injector.bind(system.lease.manager, "lease-node")
+            injector.bind(system.lease, "lease-node")
+        else:
+            self._stores = {"execution-node": [system.execution_store]}
+            self._managers = {"execution-node": [system.execution.manager]}
+            injector.bind(system.execution_store, "execution-node")
+            injector.bind(system.execution_store.wal, "execution-node")
+            injector.bind(system.execution.manager, "execution-node")
+            injector.bind(system.execution, "execution-node")
         for node, worker in zip(system.worker_nodes, system.workers):
             injector.bind(worker, node.name)
         if self.probe_every is not None:
@@ -274,6 +315,24 @@ class SimHarness:
                 plan.reorder_burst(
                     system.network, fault.at, fault.duration, fault.window
                 )
+            elif isinstance(fault, KillPrimary):
+                system.clock.call_at(
+                    fault.at,
+                    lambda f=fault: self._kill_primary(f),
+                    label="nemesis:kill-primary",
+                )
+            elif isinstance(fault, PartitionPrimary):
+                system.clock.call_at(
+                    fault.at,
+                    lambda f=fault: self._partition_primary(f),
+                    label="nemesis:partition-primary",
+                )
+            elif isinstance(fault, ResurrectStalePrimary):
+                system.clock.call_at(
+                    fault.at,
+                    self._resurrect_replicas,
+                    label="nemesis:resurrect",
+                )
         plan.arm()
         if self.compact_every is not None:
             self._arm_compactor()
@@ -296,8 +355,11 @@ class SimHarness:
             # reschedule first: a SimulatedCrash inside compact() must not
             # silence all future compactions
             system.clock.call_after(interval, tick, label="harness:compact")
-            if system.execution_node.alive:
-                system.execution.compact()
+            service = system.primary_execution()
+            if service is not None:
+                # always the primary: compacting a demoted standby's store
+                # would fork its log from the stream the primary ships
+                service.compact()
 
         system.clock.call_after(interval, tick, label="harness:compact")
 
@@ -354,16 +416,15 @@ class SimHarness:
             return
         for store in self._stores.get(node_name, ()):
             store.crash()
-        if node_name == "execution-node":
-            # transaction managers are in-memory: their active-transaction
-            # table and cached commit decisions die with the machine (durable
-            # decisions live in the decision store's log, nowhere else)
-            managers = [self._system.execution.manager]
-            if self._probe_manager is not None:
-                managers.append(self._probe_manager)
-            for manager in managers:
-                manager._active.clear()
-                manager._decisions.clear()
+        # transaction managers are in-memory: their active-transaction
+        # table and cached commit decisions die with the machine (durable
+        # decisions live in the decision store's log, nowhere else)
+        managers = list(self._managers.get(node_name, ()))
+        if node_name == "execution-node" and self._probe_manager is not None:
+            managers.append(self._probe_manager)
+        for manager in managers:
+            manager._active.clear()
+            manager._decisions.clear()
         node.crash()
         self._crashes.append(
             {
@@ -391,6 +452,51 @@ class SimHarness:
             self._resolve_in_doubt()
         node.recover()  # may raise SimulatedCrash via a recovery crash point
         self._check("recovery", deep=True)
+
+    # -- replication faults (resolved against the live system at fire time) -------
+
+    def _primary_node_name(self) -> Optional[str]:
+        """Node hosting the current primary, or None mid-failover."""
+        system = self._system
+        service = system.primary_execution()
+        if service is None:
+            return None
+        if not system.execution_replicas:
+            return system.execution_node.name
+        for node, candidate in zip(system.replica_nodes, system.execution_replicas):
+            if candidate is service:
+                return node.name
+        return None
+
+    def _kill_primary(self, fault: KillPrimary) -> None:
+        name = self._primary_node_name()
+        if name is None:
+            return  # no live primary this instant: the fault fizzles
+        self._crash_node(
+            name, point="nemesis:kill-primary", mode="clean",
+            downtime=fault.downtime,
+        )
+
+    def _partition_primary(self, fault: PartitionPrimary) -> None:
+        name = self._primary_node_name()
+        if name is None:
+            return
+        network = self._system.network
+        network.partition({name}, set(self._nodes) - {name})
+        if fault.heal_after is not None:
+            self._system.clock.call_after(
+                fault.heal_after,
+                lambda: network.heal({name}),  # every edge touching the victim
+                label="nemesis:heal-primary",
+            )
+
+    def _resurrect_replicas(self) -> None:
+        """Recover every still-downed replica (the stale-primary return)."""
+        system = self._system
+        nodes = system.replica_nodes or [system.execution_node]
+        for node in nodes:
+            if not node.alive:
+                self._recover_node(node.name)
 
     def _resolve_in_doubt(self) -> None:
         """Finish 2PC for transactions caught between PREPARE and the
@@ -424,16 +530,32 @@ class SimHarness:
         for stores in self._stores.values():
             for store in stores:
                 found += oracles.check_store_agreement(store, phase)
-        found += oracles.check_journal_integrity(system.execution_store, phase)
-        if system.execution_node.alive:
-            oracles.observe_terminal(system.execution, self._terminal_seen)
-            found += oracles.check_durability(
-                system.execution, self._terminal_seen, phase
+        if system.execution_replicas:
+            exec_stores = [r.store for r in system.execution_replicas]
+            found += oracles.check_epoch_fencing(exec_stores, phase)
+            found += oracles.check_single_primary(
+                list(zip(system.replica_nodes, system.execution_replicas)),
+                system.clock.now, phase,
             )
-            if self._probe_stores:
+        else:
+            exec_stores = [system.execution_store]
+        for store in exec_stores:
+            found += oracles.check_journal_integrity(store, phase)
+        primary = system.primary_execution()
+        if primary is not None:
+            # terminals are only *recorded* once replicated to the full ISR
+            # (a group-acked barrier survives any single failover); base
+            # services report settled unconditionally, so this gate is a
+            # no-op for the unreplicated layout
+            if primary.replication_settled():
+                oracles.observe_terminal(primary, self._terminal_seen)
+            found += oracles.check_durability(
+                primary, self._terminal_seen, phase
+            )
+            if self._probe_stores and system.execution_node.alive:
                 found += oracles.check_atomic_commit(*self._probe_stores, phase=phase)
             if deep:
-                found += oracles.check_replay_agreement(system.execution, phase)
+                found += oracles.check_replay_agreement(primary, phase)
         self._record(found)
 
     # -- driving --------------------------------------------------------------------
@@ -454,11 +576,11 @@ class SimHarness:
         return all(node.alive for node in self._nodes.values())
 
     def _all_terminal(self, iids: List[str]) -> bool:
-        system = self._system
-        if not system.execution_node.alive:
+        service = self._system.primary_execution()
+        if service is None:
             return False
         for iid in iids:
-            runtime = system.execution.runtimes.get(iid)
+            runtime = service.runtimes.get(iid)
             if runtime is None:
                 return False
             if runtime.tree.status.value not in oracles.TERMINAL_STATUSES:
@@ -512,9 +634,12 @@ class SimHarness:
             except (SimulatedCrash, CommFailure):
                 pass
             self._await_recovery()
-            if not system.execution_node.alive:
-                return None
-            fresh = sorted(set(system.execution.runtimes) - set(known))
+            service = system.primary_execution()
+            if service is None:
+                if system.execution_replicas:
+                    continue  # failover may still be electing a successor
+                return None  # the only execution node stays down
+            fresh = sorted(set(service.runtimes) - set(known))
             if fresh:
                 return fresh[0]
         return None
@@ -547,14 +672,30 @@ class SimHarness:
                 self._check("continuous")
         self._check("quiescence", deep=True)
         if healable and self._all_alive():
-            self._record(oracles.check_liveness(system.execution, iids))
+            primary = system.primary_execution()
+            if primary is not None:
+                self._record(oracles.check_liveness(primary, iids))
+            else:
+                self._record([oracles.OracleViolation(
+                    "liveness", "primary",
+                    "no replica holds the primary role although every node "
+                    "is healthy and the network is quiet", "quiescence",
+                )])
 
     def _healable(self) -> bool:
         """Liveness is only owed when every fault eventually heals."""
+        resurrects = [
+            f.at for f in self.schedule.faults
+            if isinstance(f, ResurrectStalePrimary)
+        ]
         for fault in self.schedule.faults:
             if isinstance(fault, (CrashAtPoint, CrashAtTime)) and fault.downtime is None:
                 return False
-            if isinstance(fault, Partition) and fault.heal_after is None:
+            if isinstance(fault, KillPrimary) and fault.downtime is None:
+                # a later resurrection brings the victim back
+                if not any(at > fault.at for at in resurrects):
+                    return False
+            if isinstance(fault, (Partition, PartitionPrimary)) and fault.heal_after is None:
                 return False
         return True
 
@@ -562,13 +703,10 @@ class SimHarness:
 
     def _report(self, iids: List[str]) -> SimReport:
         system = self._system
+        service = system.primary_execution()
         instances: Dict[str, Dict[str, Any]] = {}
         for iid in iids:
-            runtime = (
-                system.execution.runtimes.get(iid)
-                if system.execution_node.alive
-                else None
-            )
+            runtime = service.runtimes.get(iid) if service is not None else None
             if runtime is None:
                 instances[iid] = {"status": "lost", "outcome": None, "error": None}
             else:
@@ -590,4 +728,17 @@ class SimHarness:
             points_visited=dict(sorted(self._injector.visits.items())),
             network=system.network.stats.as_dict(),
             end_time=system.clock.now,
+            replicas=self.replicas,
+            replication={
+                svc.name: {
+                    "node": node.name,
+                    "alive": node.alive,
+                    "role": svc.role.value,
+                    "epoch": svc.epoch,
+                    "promotions": svc.repl_stats["promotions"],
+                    "demotions": svc.repl_stats["demotions"],
+                    "resyncs": svc.repl_stats["resyncs"],
+                }
+                for node, svc in zip(system.replica_nodes, system.execution_replicas)
+            },
         )

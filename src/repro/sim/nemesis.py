@@ -17,6 +17,17 @@ Fault kinds::
     loss_burst       raise the datagram loss rate for a while
     dup_burst        duplicate datagrams for a while
     reorder_burst    delay ~half of all datagrams by up to a window
+
+Replication faults (only meaningful with ``replicas > 0``; the harness
+resolves "the primary" against the live system at fire time, because which
+replica holds the lease depends on the history of earlier faults)::
+
+    kill_primary              crash whichever replica is primary at ``at``
+    partition_primary         isolate the current primary from every other
+                              node (lease arbiter included), heal later
+    resurrect_stale_primary   recover every replica still down at ``at`` —
+                              the classic stale-primary-returns scenario the
+                              fencing epoch must neutralise
 """
 
 from __future__ import annotations
@@ -136,10 +147,63 @@ class ReorderBurst:
         )
 
 
+@dataclass(frozen=True)
+class KillPrimary:
+    """Crash whichever replica is the *current* primary at time ``at``.
+
+    Unlike :class:`CrashAtTime` the victim is not named up front: the
+    harness asks the live system for the lease holder when the fault fires,
+    so a schedule can kill the second primary of a run (the one elected by
+    an earlier failover) without knowing its node name in advance."""
+
+    at: float
+    downtime: Optional[float] = 30.0
+
+    kind = "kill_primary"
+
+    def describe(self) -> str:
+        down = "forever" if self.downtime is None else f"{self.downtime}"
+        return f"crash current primary at t={self.at}, down {down}"
+
+
+@dataclass(frozen=True)
+class PartitionPrimary:
+    """Isolate the current primary from every other node at ``at`` — the
+    lease arbiter included, so its lease lapses and a standby takes over
+    while the old primary keeps running in its own partition.  Heal
+    ``heal_after`` later (never if None)."""
+
+    at: float
+    heal_after: Optional[float] = None
+
+    kind = "partition_primary"
+
+    def describe(self) -> str:
+        heal = "never healed" if self.heal_after is None else f"healed +{self.heal_after}"
+        return f"isolate current primary at t={self.at}, {heal}"
+
+
+@dataclass(frozen=True)
+class ResurrectStalePrimary:
+    """Recover every replica node still down at ``at``.
+
+    Paired after a ``KillPrimary(downtime=None)`` this is the stale-primary
+    resurrection: the dead ex-primary comes back believing it owns the
+    instances, and the fencing epoch must force it down to standby."""
+
+    at: float
+
+    kind = "resurrect_stale_primary"
+
+    def describe(self) -> str:
+        return f"resurrect downed replicas at t={self.at}"
+
+
 _FAULT_TYPES: Dict[str, Type] = {
     cls.kind: cls
     for cls in (CrashAtPoint, CrashAtTime, Partition, LossBurst, DupBurst,
-                ReorderBurst)
+                ReorderBurst, KillPrimary, PartitionPrimary,
+                ResurrectStalePrimary)
 }
 
 Fault = Any  # union of the dataclasses above
@@ -199,7 +263,12 @@ class NemesisSchedule:
                 if fault.heal_after is None:
                     return float("inf")
                 quiet = max(quiet, fault.at + fault.heal_after)
-            elif isinstance(fault, CrashAtTime):
+            elif isinstance(fault, PartitionPrimary):
+                if fault.heal_after is None:
+                    return float("inf")
+                quiet = max(quiet, fault.at + fault.heal_after)
+            elif isinstance(fault, (CrashAtTime, KillPrimary,
+                                    ResurrectStalePrimary)):
                 quiet = max(quiet, fault.at)
         return quiet
 

@@ -37,6 +37,21 @@ Oracles and the guarantees they police:
     must reach a terminal status within the quiescence grace period.
     Stuck-forever is a real bug (lost wakeup, un-redispatched flight), not
     an acceptable outcome of a finite fault schedule.
+
+Replication oracles (``replicas > 0`` only; docs/PROTOCOLS.md §12):
+
+``epoch-monotone``
+    Within each instance journal — on every replica's store — the fencing
+    epoch stamped on successive entries must be non-decreasing.  A decrease
+    means a stale primary appended after a successor was elected.
+``single-writer-per-epoch``
+    Across all replica stores, every fencing epoch maps to at most one
+    writer name.  Two writers sharing an epoch is split-brain made durable.
+``single-primary``
+    At any observation point, at most one *live* replica may hold the
+    PRIMARY role under an unexpired lease.  (A demoted-but-not-yet-ticked
+    stale primary with an expired lease is legal; one actively holding an
+    overlapping lease is not.)
 """
 
 from __future__ import annotations
@@ -260,6 +275,90 @@ def check_atomic_commit(
             f"{store_a.name}+{store_b.name}",
             f"{key} diverged: {store_a.name}={a} {store_b.name}={b}",
             phase,
+        )
+    ]
+
+
+def check_epoch_fencing(
+    stores: List[ObjectStore], phase: str = ""
+) -> List[OracleViolation]:
+    """Fencing-epoch safety over the durable journals of every replica.
+
+    *Monotonicity*: within one instance journal, entry epochs never
+    decrease — a decrease means a deposed primary appended after its
+    successor.  *Single writer per epoch*: across all stores, an epoch is
+    owned by exactly one writer name — two writers sharing an epoch is
+    split-brain made durable.  Entries without an epoch stamp (epoch 0)
+    predate replication and are skipped.
+    """
+    violations: List[OracleViolation] = []
+    writers: Dict[int, Dict[str, str]] = {}  # epoch -> writer -> first site
+    for store in stores:
+        for iid in store.get_committed("instance-index", []):
+            meta, journal = _journal_entries(store, iid)
+            if meta is None:
+                continue
+            high = 0
+            for n, entry in enumerate(journal):
+                if entry is None:
+                    continue
+                epoch = entry.get("epoch") or 0
+                if not epoch:
+                    continue
+                if epoch < high:
+                    violations.append(
+                        OracleViolation(
+                            "epoch-monotone", iid,
+                            f"journal entry {n} in {store.name} carries epoch "
+                            f"{epoch} after an entry with epoch {high}", phase,
+                        )
+                    )
+                high = max(high, epoch)
+                writer = entry.get("writer")
+                if writer:
+                    writers.setdefault(epoch, {}).setdefault(
+                        writer, f"{store.name}:{iid}:{n}"
+                    )
+    for epoch, seen in sorted(writers.items()):
+        if len(seen) > 1:
+            detail = ", ".join(
+                f"{writer} (first at {site})" for writer, site in sorted(seen.items())
+            )
+            violations.append(
+                OracleViolation(
+                    "single-writer-per-epoch", f"epoch-{epoch}",
+                    f"multiple writers journaled entries under one fencing "
+                    f"epoch: {detail}", phase,
+                )
+            )
+    return violations
+
+
+def check_single_primary(
+    replicas: List[Tuple[Any, Any]], now: float, phase: str = ""
+) -> List[OracleViolation]:
+    """At most one live replica may act as primary under an unexpired lease.
+
+    ``replicas`` is ``[(node, service), ...]``.  A deposed primary that has
+    not yet noticed its lease lapsed is legal (its local expiry is in the
+    past); two replicas both believing they hold *currently valid* leases is
+    the split-brain the lease arbiter exists to prevent.
+    """
+    holders: List[Tuple[str, int]] = []
+    for node, service in replicas:
+        if not node.alive or not service.is_primary():
+            continue
+        lease = getattr(service, "lease", None) or {}
+        if lease.get("holder") == service.name and lease.get("expires_at", 0.0) > now:
+            holders.append((service.name, service.epoch))
+    if len(holders) <= 1:
+        return []
+    detail = ", ".join(f"{name} (epoch {epoch})" for name, epoch in sorted(holders))
+    return [
+        OracleViolation(
+            "single-primary", "lease",
+            f"{len(holders)} live replicas hold the primary role under "
+            f"unexpired leases: {detail}", phase,
         )
     ]
 

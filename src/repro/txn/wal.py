@@ -210,6 +210,20 @@ class WriteAheadLog:
             self._mirror_fh.close()
             self._mirror_fh = None
 
+    def reset(self) -> None:
+        """Discard the entire log and restart LSN numbering.
+
+        This is *not* a crash path: it models a standby wiping its local
+        stable storage before a full resync from the primary (the shipped
+        log is checkpoint-rooted, so the replacement prefix is complete).
+        Pending mirror rows are synced first so the on-disk file never
+        claims records the reborn log does not have.
+        """
+        self.sync()
+        self._records = []
+        self._forced_upto = 0
+        self._next_lsn = 1
+
     def lose_unforced(self) -> int:
         """Simulate a crash: drop records appended since the last force.
         Returns how many records were lost.  Pending group-commit rows are
@@ -235,6 +249,21 @@ class WriteAheadLog:
     @property
     def durable_length(self) -> int:
         return self._forced_upto
+
+    @property
+    def last_durable_lsn(self) -> int:
+        """LSN of the newest durable record (0 when nothing is durable yet).
+
+        LSNs are stable across checkpoint truncation, which makes them the
+        cursor replication ships by (docs/PROTOCOLS.md §12)."""
+        return self._records[self._forced_upto - 1].lsn if self._forced_upto else 0
+
+    @property
+    def first_retained_lsn(self) -> int:
+        """LSN of the oldest record still in the log (0 when empty).  A
+        replication cursor pointing before this has been checkpoint-truncated
+        away and the follower needs a full resync."""
+        return self._records[0].lsn if self._records else 0
 
     # -- compaction ---------------------------------------------------------------
 

@@ -1,0 +1,155 @@
+"""Failover under the chaos stack: replication nemesis faults, the
+replicated harness, its oracles, and the failover sweep
+(docs/PROTOCOLS.md §12)."""
+
+import pytest
+
+from repro.sim.crashpoints import catalogue, point_named
+from repro.sim.explorer import ChaosSweep
+
+FAILOVER_WORKLOADS = ChaosSweep.FAILOVER_WORKLOADS
+from repro.sim.harness import SimHarness
+from repro.sim.nemesis import (
+    KillPrimary,
+    NemesisSchedule,
+    PartitionPrimary,
+    ResurrectStalePrimary,
+    fault_from_plain,
+    fault_to_plain,
+)
+
+REPLICATION_POINTS = [p.name for p in catalogue() if p.name.startswith("repl.")]
+
+
+class TestReplicationFaults:
+    def test_plain_forms_round_trip(self):
+        faults = [
+            KillPrimary(at=10.0, downtime=None),
+            KillPrimary(at=10.0, downtime=30.0),
+            PartitionPrimary(at=5.0, heal_after=60.0),
+            PartitionPrimary(at=5.0, heal_after=None),
+            ResurrectStalePrimary(at=200.0),
+        ]
+        for fault in faults:
+            assert fault_from_plain(fault_to_plain(fault)) == fault
+        schedule = NemesisSchedule(faults, name="repl-faults")
+        assert NemesisSchedule.from_json(schedule.to_json()) == schedule
+
+    def test_healability(self):
+        # a permanently dead primary is healable iff someone resurrects it
+        dead = NemesisSchedule([KillPrimary(at=10.0, downtime=None)])
+        healed = NemesisSchedule(
+            [KillPrimary(at=10.0, downtime=None), ResurrectStalePrimary(at=50.0)]
+        )
+        assert not SimHarness(schedule=dead, replicas=2)._healable()
+        assert SimHarness(schedule=healed, replicas=2)._healable()
+        # an unhealed partition never heals by itself
+        cut = NemesisSchedule([PartitionPrimary(at=10.0, heal_after=None)])
+        assert not SimHarness(schedule=cut, replicas=2)._healable()
+        assert cut.network_quiet_at() == float("inf")
+
+
+class TestReplicatedHarness:
+    def test_kill_and_resurrect_completes_with_clean_oracles(self):
+        schedule = NemesisSchedule(
+            [KillPrimary(at=10.0, downtime=None), ResurrectStalePrimary(at=200.0)],
+            name="kill-resurrect",
+        )
+        report = SimHarness(
+            schedule=schedule, replicas=2, lease_duration=30.0, instances=2
+        ).run()
+        assert report.ok, report.violations
+        assert all(
+            info["status"] == "completed" for info in report.instances.values()
+        )
+        assert report.replicas == 2
+        # exactly one replica ended up primary, on a fresh epoch
+        roles = [s["role"] for s in report.replication.values()]
+        assert roles.count("primary") == 1
+        assert sum(s["promotions"] for s in report.replication.values()) >= 1
+        assert max(s["epoch"] for s in report.replication.values()) >= 2
+        assert any(c["point"] == "nemesis:kill-primary" for c in report.crashes)
+
+    def test_partition_then_heal_completes(self):
+        schedule = NemesisSchedule(
+            [PartitionPrimary(at=10.0, heal_after=150.0)], name="cut-heal"
+        )
+        report = SimHarness(
+            schedule=schedule, replicas=2, lease_duration=30.0
+        ).run()
+        assert report.ok, report.violations
+        assert all(
+            info["status"] == "completed" for info in report.instances.values()
+        )
+        # the isolated primary was fenced out, not forked: one primary at end
+        roles = [s["role"] for s in report.replication.values()]
+        assert roles.count("primary") == 1
+
+    def test_replicated_run_is_deterministic(self):
+        schedule = NemesisSchedule(
+            [KillPrimary(at=10.0, downtime=60.0)], name="det-failover"
+        )
+        first = SimHarness(schedule=schedule, replicas=2, seed=13).run()
+        second = SimHarness(
+            schedule=NemesisSchedule.from_json(schedule.to_json()),
+            replicas=2,
+            seed=13,
+        ).run()
+        assert first.ok, first.violations
+        assert first.fingerprint() == second.fingerprint()
+
+    @pytest.mark.parametrize("workload", FAILOVER_WORKLOADS)
+    def test_all_paper_workloads_survive_failover(self, workload):
+        schedule = NemesisSchedule(
+            [KillPrimary(at=10.0, downtime=None), ResurrectStalePrimary(at=200.0)],
+            name="kill-resurrect",
+        )
+        report = SimHarness(
+            schedule=schedule, replicas=2, lease_duration=30.0, workload=workload
+        ).run()
+        assert report.ok, report.violations
+        assert all(
+            info["status"] == "completed" for info in report.instances.values()
+        )
+
+
+class TestReplicationCrashPoints:
+    def test_catalogue_declares_the_replication_points(self):
+        assert set(REPLICATION_POINTS) == {
+            "repl.lease.grant",
+            "repl.tail.apply",
+            "repl.promote.pre",
+            "repl.promote.post",
+        }
+        assert point_named("repl.promote.pre").recovery
+        assert point_named("repl.promote.post").recovery
+
+    def test_plans_for_replication_points_use_replicas(self):
+        sweep = ChaosSweep()
+        for name in REPLICATION_POINTS:
+            schedule, kwargs = sweep.plan_for_point(point_named(name))
+            assert kwargs["replicas"] >= 2, name
+            crashes = [f.point for f in schedule.crash_faults()]
+            assert name in crashes
+            if name != "repl.tail.apply":
+                # a driver crash of the primary forces the grant/promotion
+                # to happen after the injector is armed
+                assert "exec.journal.post" in crashes, name
+
+    @pytest.mark.parametrize("name", REPLICATION_POINTS)
+    def test_each_replication_point_fires_clean(self, name):
+        sweep = ChaosSweep()
+        schedule, kwargs = sweep.plan_for_point(point_named(name))
+        report = sweep._run(schedule, kwargs)
+        assert report.ok, report.violations
+        assert report.points_visited.get(name, 0) > 0, f"{name} never reached"
+
+
+class TestFailoverSweep:
+    def test_failover_sweep_clean_and_exhaustive(self):
+        result = ChaosSweep().failover_sweep(replicas=2)
+        # every workload x every failover schedule, no oracle violations,
+        # and every replication crash point was reached at least once
+        assert len(result.reports) == 3 * len(FAILOVER_WORKLOADS)
+        assert result.unreached == []
+        assert result.ok, result.summary()

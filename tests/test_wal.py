@@ -305,3 +305,79 @@ class TestGroupCommit:
         assert IOPATH_STATS.wal_syncs == 0
         assert store.sync() is True
         assert IOPATH_STATS.wal_syncs == 1
+
+
+class TestCheckpointUnderGroupCommit:
+    """``checkpoint()`` is a durability barrier: every row pending from the
+    coalescing window must be physically synced before (or together with)
+    the CHECKPOINT record, and the truncation must preserve LSN-addressable
+    replay (docs/PROTOCOLS.md §11 + §12: replication ships by LSN across
+    checkpoint truncation)."""
+
+    def _lines(self, path):
+        return path.read_text().strip().splitlines() if path.exists() else []
+
+    def test_pending_rows_synced_with_checkpoint(self, tmp_path):
+        from repro.core.instrument import IOPATH_STATS
+
+        path = tmp_path / "wal.jsonl"
+        log = WriteAheadLog(mirror_path=str(path), group_commit=True)
+        IOPATH_STATS.reset()
+        for _ in range(3):  # three forces, zero fsyncs: the window is open
+            log.append(w.BEGIN, T1)
+            log.append(w.COMMIT, T1)
+            log.force()
+        assert IOPATH_STATS.wal_syncs == 0
+        log.checkpoint({"a": 1})
+        # the barrier drained the window: every earlier row plus the
+        # CHECKPOINT itself is on disk and fsynced
+        assert log._pending_syncs == 0
+        assert IOPATH_STATS.wal_syncs >= 1
+        mirrored = self._lines(path)
+        assert len(mirrored) == 7  # 6 pre-checkpoint rows + CHECKPOINT
+        assert '"CHECKPOINT"' in mirrored[-1]
+
+    def test_crash_after_checkpoint_replays_snapshot(self):
+        log = WriteAheadLog(group_commit=True)
+        log.append(w.BEGIN, T1)
+        log.append(w.UPDATE, T1, A, 1)
+        log.append(w.COMMIT, T1)
+        log.force()
+        log.checkpoint({"a": 1})
+        log.append(w.BEGIN, T2)  # volatile tail, torn away by the crash
+        log.lose_unforced()
+        assert replay(log.durable_records()) == {"a": 1}
+        assert log._pending_syncs == 0  # crash path drained the window
+
+    def test_lsns_stable_across_truncation(self):
+        log = WriteAheadLog(group_commit=True)
+        for _ in range(4):
+            log.append(w.BEGIN, T1)
+            log.append(w.COMMIT, T1)
+            log.force()
+        before = log.last_durable_lsn
+        assert log.first_retained_lsn == 1
+        log.checkpoint({"x": 1})
+        # truncation discards superseded records but never renumbers: the
+        # checkpoint record carries the next LSN and becomes the log's root
+        assert log.first_retained_lsn == before + 1
+        assert log.last_durable_lsn == before + 1
+        log.append(w.BEGIN, T2)
+        log.append(w.COMMIT, T2)
+        log.force()
+        assert log.last_durable_lsn == before + 3
+
+    def test_reset_restarts_numbering_and_drains(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        log = WriteAheadLog(mirror_path=str(path), group_commit=True)
+        log.append(w.BEGIN, T1)
+        log.append(w.COMMIT, T1)
+        log.force()
+        log.reset()
+        assert log._pending_syncs == 0  # pending rows hit disk before the wipe
+        assert len(log) == 0
+        assert log.durable_length == 0
+        assert log.first_retained_lsn == 0
+        assert log.last_durable_lsn == 0
+        record = log.append(w.BEGIN, T2)
+        assert record.lsn == 1  # a resynced standby restarts local numbering
