@@ -9,6 +9,7 @@ Mirrors the repository-service operations plus the graphical export::
     python -m repro.cli analyze   script.wf [task]  # static vs dynamic reachability
     python -m repro.cli dot       script.wf [task]  # Graphviz export
     python -m repro.cli demo      order|trip|service-impact
+    python -m repro.cli load      --arrival poisson|burst --rate R --seed N
 
 ``lint`` accepts ``.wf`` script files *and* ``.py`` files with embedded
 ``SCRIPT`` constants (the examples/ and workload layout), and renders the
@@ -305,9 +306,53 @@ def cmd_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_load(args: argparse.Namespace) -> int:
+    """Sustained-traffic generator against the simulated system: a seeded
+    Poisson/burst arrival schedule with cohorts and hot-key skew, reported
+    as the SLO view (docs/PROTOCOLS.md §13)."""
+    from .overload import OverloadConfig
+    from .services.system import WorkflowSystem
+    from .workloads import TrafficSpec, run_traffic, traffic_registry
+
+    spec = TrafficSpec(
+        arrival=args.arrival,
+        rate=args.rate,
+        duration=args.duration,
+        cohorts=args.cohorts,
+        skew=args.skew,
+        seed=args.seed,
+        drain=args.drain,
+        slo=args.slo,
+    )
+    if args.no_overload:
+        overload = OverloadConfig.disabled()
+    else:
+        overload = OverloadConfig(
+            queue_capacity=args.queue_capacity,
+            initial_window=args.window,
+            min_window=max(1, args.window // 4),
+        )
+    system = WorkflowSystem(
+        workers=args.workers,
+        registry=traffic_registry(),
+        seed=args.seed,
+        overload=overload,
+        worker_service_time=args.service_time,
+        worker_lanes=args.lanes,
+    )
+    slo_report = run_traffic(system, spec)
+    if args.json:
+        print(json.dumps(slo_report.to_plain(), indent=2, sort_keys=True))
+    else:
+        print(slo_report.render())
+    return 0
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     from .workloads import paper_order, paper_service_impact, paper_trip
 
+    if args.load:
+        return _demo_load(args)
     demos = {
         "order": (paper_order, {"order": "order-1"}),
         "trip": (paper_trip, {"user": "demo-user"}),
@@ -328,6 +373,38 @@ def cmd_demo(args: argparse.Namespace) -> int:
     print()
     print(render_summary(result.log))
     return 0 if result.completed else 1
+
+
+def _demo_load(args) -> int:
+    """Quick overload smoke for ``demo --load``: a short sustained burst
+    against a capacity-limited system with a tight admission config, so the
+    whole §13 pipeline — queueing, controller, shedding, retry-after — runs
+    in a couple of wall seconds."""
+    from .overload import OverloadConfig
+    from .services.system import WorkflowSystem
+    from .workloads import TrafficSpec, run_traffic, traffic_registry
+
+    spec = TrafficSpec(
+        rate=1.0, duration=120.0, drain=300.0, seed=args.seed, slo=90.0
+    )
+    system = WorkflowSystem(
+        workers=args.workers,
+        registry=traffic_registry(),
+        seed=args.seed,
+        overload=OverloadConfig(
+            queue_capacity=8, initial_window=8, min_window=2
+        ),
+        worker_service_time=1.0,
+    )
+    slo_report = run_traffic(system, spec)
+    print(slo_report.render())
+    healthy = (
+        slo_report.offered > 0
+        and slo_report.unfinished == 0
+        and slo_report.lost == 0
+        and slo_report.completed > 0
+    )
+    return 0 if healthy else 1
 
 
 def _demo_distributed(args, module, inputs, registry) -> int:
@@ -577,7 +654,18 @@ def build_parser() -> argparse.ArgumentParser:
     dot.set_defaults(fn=cmd_dot)
 
     demo = commands.add_parser("demo", help="run a paper example")
-    demo.add_argument("name", choices=["order", "trip", "service-impact"])
+    demo.add_argument(
+        "name", nargs="?", default="order",
+        choices=["order", "trip", "service-impact"],
+    )
+    demo.add_argument(
+        "--load",
+        action="store_true",
+        help="overload smoke instead of a single instance: a short "
+        "sustained traffic burst against a capacity-limited system with "
+        "tight admission bounds (exit 1 if any admitted work is lost or "
+        "left unfinished)",
+    )
     demo.add_argument(
         "--parallelism",
         type=int,
@@ -643,6 +731,79 @@ def build_parser() -> argparse.ArgumentParser:
         "failure (default: 40)",
     )
     demo.set_defaults(fn=cmd_demo)
+
+    load = commands.add_parser(
+        "load",
+        help="sustained-traffic generator: drive the simulated system with "
+        "a seeded arrival schedule and print the SLO report "
+        "(goodput, sojourn percentiles, shed/refusal counts by class)",
+    )
+    load.add_argument(
+        "--arrival", choices=["poisson", "burst"], default="poisson",
+        help="inter-arrival shape (default: poisson)",
+    )
+    load.add_argument(
+        "--rate", type=float, default=0.5, metavar="R",
+        help="mean arrivals per virtual second, off-burst (default: 0.5)",
+    )
+    load.add_argument(
+        "--duration", type=float, default=300.0, metavar="T",
+        help="arrival-generation horizon in virtual seconds (default: 300)",
+    )
+    load.add_argument(
+        "--cohorts", type=int, default=3, metavar="N",
+        help="user cohorts cycling high/normal/low criticality (default: 3)",
+    )
+    load.add_argument(
+        "--skew", type=float, default=0.5, metavar="P",
+        help="probability an arrival is premium-cohort / hot-key (default: 0.5)",
+    )
+    load.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the whole schedule; same seed, same report "
+        "fingerprint (default: 0)",
+    )
+    load.add_argument(
+        "--drain", type=float, default=600.0, metavar="T",
+        help="extra virtual time for admitted work to finish (default: 600)",
+    )
+    load.add_argument(
+        "--slo", type=float, default=120.0, metavar="T",
+        help="sojourn bound for SLO goodput; 0 counts raw completions "
+        "(default: 120)",
+    )
+    load.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker-node pool size (default: 2)",
+    )
+    load.add_argument(
+        "--service-time", type=float, default=1.0, metavar="T",
+        help="virtual seconds of worker occupancy per task; the finite "
+        "capacity that makes overload possible (default: 1)",
+    )
+    load.add_argument(
+        "--lanes", type=int, default=1, metavar="N",
+        help="concurrent service lanes per worker (default: 1)",
+    )
+    load.add_argument(
+        "--queue-capacity", type=int, default=16, metavar="N",
+        help="bounded admission queue; full means Overloaded refusals "
+        "(default: 16)",
+    )
+    load.add_argument(
+        "--window", type=int, default=16, metavar="N",
+        help="initial admitted-concurrency window (default: 16)",
+    )
+    load.add_argument(
+        "--no-overload", action="store_true",
+        help="disable the admission/shedding layer (the ablation: watch "
+        "sojourn diverge under sustained overload)",
+    )
+    load.add_argument(
+        "--json", action="store_true",
+        help="print the full SLO report as canonical JSON",
+    )
+    load.set_defaults(fn=cmd_load)
 
     chaos = commands.add_parser(
         "chaos-sweep",

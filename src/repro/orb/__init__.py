@@ -5,18 +5,31 @@ Interface declarations, naming, marshalled synchronous invocation with
 client-side proxies.
 """
 
-from .broker import BadInterface, CommFailure, Interface, ObjectBroker, ObjectNotFound
+from .broker import (
+    BadInterface,
+    CommFailure,
+    DelayedResult,
+    Fenced,
+    Interface,
+    ObjectBroker,
+    ObjectNotFound,
+    Overloaded,
+)
 from .marshal import MarshalError, is_transferable, marshal, marshal_call, transferable
-from .proxy import Proxy
+from .proxy import Proxy, call_with_backoff
 
 __all__ = [
     "BadInterface",
     "CommFailure",
+    "DelayedResult",
+    "Fenced",
     "Interface",
     "MarshalError",
     "ObjectBroker",
     "ObjectNotFound",
+    "Overloaded",
     "Proxy",
+    "call_with_backoff",
     "is_transferable",
     "marshal",
     "marshal_call",

@@ -41,6 +41,35 @@ class Fenced(CommFailure):
     application error (docs/PROTOCOLS.md §12)."""
 
 
+class Overloaded(CommFailure):
+    """The servant refused the invocation because its admission queue is
+    full (docs/PROTOCOLS.md §13).  Carries ``retry_after``, a deterministic
+    hint (derived from queue depth and controller pressure, never from a
+    live RNG) for when the caller should try again.  A subclass of
+    :class:`CommFailure` because CORBA surfaces resource exhaustion the same
+    way as unreachability — but typed, so cooperative clients can
+    distinguish "back off" from "route elsewhere"."""
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class DelayedResult:
+    """A servant's way of modelling finite capacity: the returned ``value``
+    is the reply, but it departs ``delay`` simulated seconds after the
+    request was delivered (queueing + service time at the servant).  The
+    synchronous :meth:`ObjectBroker.invoke` path unwraps it immediately
+    (the caller blocks through the delay, which is only accounted); the
+    deferred path holds the reply leg back, and drops it if the servant's
+    node crashes or restarts before the modelled work completes — exactly
+    as a real backlog dies with its process."""
+
+    value: Any
+    delay: float
+
+
 class BadInterface(TypeError):
     """Servant or invocation does not match the declared interface."""
 
@@ -165,6 +194,11 @@ class ObjectBroker:
         m_args, m_kwargs = marshal_call(args, kwargs) if remote else (args, kwargs)
         method = getattr(registration.servant, operation)
         result = method(*m_args, **m_kwargs)
+        if isinstance(result, DelayedResult):
+            # synchronous caller: blocks through the modelled service time
+            # (accounted, like the rtt; the event itself runs to completion)
+            self.stats.simulated_rtt += result.delay
+            result = result.value
         return marshal(result) if remote else result
 
     # -- deferred (asynchronous) invocation ------------------------------------------
@@ -200,14 +234,32 @@ class ObjectBroker:
                         self._reply(registration.node, caller, lambda: on_error(failure))
                     return
             try:
-                result = marshal(getattr(registration.servant, operation)(*m_args))
+                outcome = getattr(registration.servant, operation)(*m_args)
             except Exception as exc:  # marshalled back as the error reply
                 if on_error is not None:
                     error = exc  # bind: `exc` is cleared when the block exits
                     self._reply(registration.node, caller, lambda: on_error(error))
                 return
-            if on_reply is not None:
+            delay = 0.0
+            if isinstance(outcome, DelayedResult):
+                delay, outcome = outcome.delay, outcome.value
+            result = marshal(outcome)
+            if on_reply is None:
+                return
+            if delay <= 0.0:
                 self._reply(registration.node, caller, lambda: on_reply(result))
+                return
+            # modelled service time: the reply leg departs only when the
+            # servant finishes the work — and not at all if its node crashed
+            # (or crashed-and-recovered) in the meantime, because the queued
+            # work died with the process
+            stamp = registration.node.crash_count
+
+            def depart() -> None:
+                if registration.node.alive and registration.node.crash_count == stamp:
+                    self._reply(registration.node, caller, lambda: on_reply(result))
+
+            self.clock.call_after(delay, depart, label=f"orb-svc:{target}.{operation}")
 
         # request leg: rides the datagram network (loss, latency, partitions)
         if not caller.alive:

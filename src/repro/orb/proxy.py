@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from ..net.node import Node
-from .broker import ObjectBroker
+from .broker import ObjectBroker, Overloaded
 
 
 class Proxy:
@@ -40,3 +40,42 @@ class Proxy:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Proxy {self._target} from {self._caller.name if self._caller else '?'}>"
+
+
+def call_with_backoff(
+    clock: Any,
+    policy: Any,
+    key: str,
+    call: Callable[[], Any],
+    on_result: Optional[Callable[[Any], None]] = None,
+    on_give_up: Optional[Callable[[Exception], None]] = None,
+    max_attempts: int = 6,
+) -> None:
+    """Invoke ``call`` with cooperative overload backoff (PROTOCOLS.md §13).
+
+    An :class:`~repro.orb.broker.Overloaded` refusal schedules a retry at
+    ``policy.overload_backoff(key, attempt, retry_after)`` — at least the
+    servant's deterministic retry-after hint, stretched by the policy's
+    jittered exponential schedule so a cohort of refused clients does not
+    return as one synchronized wave (the retry storm that turns a load spike
+    into a metastable outage).  After ``max_attempts`` refusals the client
+    gives up: under sustained overload, turning traffic away at the edge is
+    the correct terminal outcome.  Asynchronous: retries ride the event
+    clock; ``on_result``/``on_give_up`` deliver the verdict.
+    """
+
+    def attempt(n: int) -> None:
+        try:
+            result = call()
+        except Overloaded as exc:
+            if n + 1 >= max_attempts:
+                if on_give_up is not None:
+                    on_give_up(exc)
+                return
+            delay = policy.overload_backoff(key, n, getattr(exc, "retry_after", 0.0))
+            clock.call_after(delay, lambda: attempt(n + 1), label=f"backoff:{key}")
+            return
+        if on_result is not None:
+            on_result(result)
+
+    attempt(0)

@@ -1,0 +1,90 @@
+"""Overload-control knobs (docs/PROTOCOLS.md §13).
+
+One frozen bundle, mirroring :class:`~repro.resilience.ResilienceConfig`:
+the execution service takes an :class:`OverloadConfig` and wires it into an
+:class:`~repro.overload.admission.AdmissionController`.  Defaults are
+deliberately generous (window 256, queue 256) so a system that never sees
+more than a few hundred concurrent instances behaves byte-for-byte as if
+the layer did not exist; benchmarks and load tests pass tighter bounds.
+``OverloadConfig.disabled()`` removes the layer entirely (the shedding
+ablation of the overload benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# The fixed criticality vocabulary, in degrade order: under pressure the
+# service sheds hedged duplicates first, then new "low" admissions, then new
+# admissions of any class.  Scripts declare it as an implementation property
+# on the root task ("criticality" is "low"); anything absent or unknown is
+# "normal".
+CRITICALITY_CLASSES = ("low", "normal", "high")
+DEFAULT_CRITICALITY = "normal"
+
+
+def criticality_of(script, root_task: str) -> str:
+    """Criticality class declared by a script's root task (or the default)."""
+    decl = script.tasks.get(root_task)
+    if decl is None:
+        return DEFAULT_CRITICALITY
+    raw = decl.implementation.get("criticality")
+    return raw if raw in CRITICALITY_CLASSES else DEFAULT_CRITICALITY
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Knobs of the bounded-admission / adaptive-control / shedding layer.
+
+    ``sojourn_target`` is the CoDel-style target: as long as the *minimum*
+    admission-queue sojourn observed over a control interval stays below it,
+    the service is running at or below the knee of its latency curve and the
+    concurrency window may grow.  A minimum above the target means even the
+    luckiest arrival waited too long — a standing queue — so the window
+    shrinks multiplicatively and, as the excess grows past ``shed_low_at`` /
+    ``shed_all_at`` multiples of the target, the shed policy escalates.
+    """
+
+    enabled: bool = True
+    queue_capacity: int = 256        # bounded admission queue; full -> Overloaded
+    initial_window: int = 256        # admitted-concurrency window (instances)
+    min_window: int = 8
+    max_window: int = 1024
+    window_decrease: float = 0.8     # multiplicative shrink under standing delay
+    sojourn_target: float = 30.0     # CoDel target for queue sojourn (virtual s)
+    control_interval: float = 10.0   # delay-gradient controller tick period
+    shed_low_at: float = 2.0         # sojourn multiple: shed new low-criticality
+    shed_all_at: float = 4.0         # sojourn multiple: shed new any-class
+    retry_after_base: float = 10.0   # scale of the deterministic retry hint
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 0:
+            raise ValueError("queue_capacity must be >= 0")
+        if not 0 < self.min_window <= self.initial_window <= self.max_window:
+            raise ValueError("need 0 < min_window <= initial_window <= max_window")
+        if not 0.0 < self.window_decrease < 1.0:
+            raise ValueError("window_decrease must be in (0, 1)")
+        if self.sojourn_target <= 0 or self.control_interval <= 0:
+            raise ValueError("sojourn_target and control_interval must be positive")
+        if not 1.0 <= self.shed_low_at <= self.shed_all_at:
+            raise ValueError("need 1 <= shed_low_at <= shed_all_at")
+
+    @classmethod
+    def disabled(cls) -> "OverloadConfig":
+        """No admission queue, no controller, no shedding — every instance
+        starts immediately, exactly the pre-§13 behaviour."""
+        return cls(enabled=False)
+
+    @classmethod
+    def for_timeouts(
+        cls, dispatch_timeout: float, sweep_interval: float, **overrides
+    ) -> "OverloadConfig":
+        """Derive targets from the dispatch timings, like ResilienceConfig:
+        queue sojourn is measured against the same clock the dispatcher's
+        patience is."""
+        params = dict(
+            sojourn_target=max(dispatch_timeout, 1.0),
+            control_interval=max(sweep_interval, 1.0),
+        )
+        params.update(overrides)
+        return cls(**params)

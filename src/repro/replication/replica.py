@@ -36,6 +36,7 @@ from __future__ import annotations
 import enum
 from typing import Any, Dict, List, Optional, Sequence, Set
 
+from ..engine.events import WorkflowStatus
 from ..orb.broker import CommFailure, Fenced, Interface, ObjectBroker, ObjectNotFound
 from ..sim.crashpoints import SimulatedCrash, crash_point
 from ..txn.ids import ObjectId, TransactionId
@@ -243,6 +244,17 @@ class ReplicatedExecutionService(ExecutionService):
         # Persist the adopted epoch as the local tail so a crash right after
         # promotion recovers into the same epoch lineage.
         self._persist_tail(self.store.wal.last_durable_lsn, self.epoch)
+        # Admission state never crosses a failover: the old primary's queue
+        # died with it, so every adopted non-terminal instance counts as
+        # admitted and the controller starts this reign unpressured.
+        self.admission.rebuild(
+            [
+                iid
+                for iid, runtime in self.runtimes.items()
+                if runtime.tree.status is WorkflowStatus.RUNNING
+            ],
+            self._now(),
+        )
         for runtime in list(self.runtimes.values()):
             self._resume_flights(runtime)
             self._arm_deadlines(runtime)

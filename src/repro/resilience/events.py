@@ -18,7 +18,9 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 # Event kinds (the closed vocabulary used by the execution service):
 #   dispatch, redispatch, hedge, timeout, failover, abandon, stagger,
-#   breaker-open, breaker-half-open, breaker-close
+#   breaker-open, breaker-half-open, breaker-close, plus the overload
+#   layer's admission decisions (docs/PROTOCOLS.md §13):
+#   queue, promote, shed, reject, window
 _GLYPH = {
     "dispatch": "→",
     "redispatch": "↻",
@@ -30,6 +32,11 @@ _GLYPH = {
     "breaker-open": "⊘",
     "breaker-half-open": "◒",
     "breaker-close": "●",
+    "queue": "⧖",
+    "promote": "⇧",
+    "shed": "⊖",
+    "reject": "⊠",
+    "window": "⌖",
 }
 
 

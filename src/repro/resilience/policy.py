@@ -92,6 +92,18 @@ class RetryPolicy:
         """Has this flight used up its redispatch budget?"""
         return self.max_redispatches is not None and redispatches >= self.max_redispatches
 
+    # -- cooperative overload backoff ---------------------------------------------
+
+    def overload_backoff(self, key: str, attempt: int, retry_after: float = 0.0) -> float:
+        """Client-side delay before retrying an ``Overloaded`` refusal.
+
+        Never earlier than the service's deterministic ``retry_after`` hint,
+        never in lock-step with other refused clients: the hint is stretched
+        by this policy's jittered exponential schedule (keyed separately
+        from dispatch flights, so the two schedules cannot correlate).
+        """
+        return max(retry_after, self.delay(f"overload:{key}", attempt))
+
     # -- recovery staggering ------------------------------------------------------
 
     def stagger(self, key: str) -> float:

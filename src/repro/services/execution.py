@@ -49,7 +49,8 @@ from ..engine.events import WorkflowStatus
 from ..engine.instance import InstanceTree, TaskNode
 from ..lang import compile_script
 from ..net.node import Message, Service
-from ..orb.broker import CommFailure, Interface, ObjectBroker
+from ..orb.broker import CommFailure, Interface, ObjectBroker, Overloaded
+from ..overload import AdmissionController, OverloadConfig, criticality_of
 from ..resilience import HealthRegistry, ResilienceConfig, ResilienceLog
 from ..sim.crashpoints import crash_point
 from ..txn.manager import TransactionManager
@@ -144,6 +145,11 @@ def _script_has_deadlines(script: Script) -> bool:
 _COMPILE_CACHE: Dict[str, Script] = {}
 _COMPILE_CACHE_MAX = 128
 
+# Bound on the hedge-loser ack table (_pending_acks): age-based reaping in the
+# sweeper is the primary mechanism; this cap is the backstop under sustained
+# overload, when losers can accrue faster than the reap horizon drains them.
+_PENDING_ACK_CAP = 1024
+
 
 def _compile_cached(text: str) -> Script:
     script = _COMPILE_CACHE.get(text)
@@ -171,6 +177,7 @@ class ExecutionService(Service):
         resilience: Optional[ResilienceConfig] = None,
         journal_batch: bool = True,
         journal_window: float = 5.0,
+        overload: Optional[OverloadConfig] = None,
     ) -> None:
         """``journal_batch`` turns on batched journal appends: entries
         produced within one scheduling pump (and across pumps that trigger
@@ -221,11 +228,19 @@ class ExecutionService(Service):
             "failovers": 0,
             "staggered": 0,
             "fenced_replies": 0,
+            "shed": 0,
+            "overload_rejections": 0,
         }
         self.rlog = ResilienceLog(self.resilience.event_limit)
         self.health = HealthRegistry(
             self.worker_names, self.resilience, log=self.rlog, stats=self.stats
         )
+        # Overload layer (docs/PROTOCOLS.md §13): bounded admission queue,
+        # delay-gradient concurrency window, priority shedding.  Defaults are
+        # generous enough that lightly loaded systems never notice it.
+        self.overload = overload or OverloadConfig()
+        self.admission = AdmissionController(self.overload, rlog=self.rlog)
+        self._promoting = False  # re-entrancy guard for _promote_ready
         # hedge losers: sends still awaiting a (late) reply after their
         # flight resolved, kept so the reply credits the worker's health
         self._pending_acks: Dict[Tuple[str, str, int, str], float] = {}
@@ -258,6 +273,18 @@ class ExecutionService(Service):
                     self.runtimes[iid] = runtime
                     self._resume_flights(runtime)
                     self._arm_deadlines(runtime)
+        # Admission state is volatile: the queue died with the process, so
+        # every rebuilt non-terminal instance counts as admitted (its journal
+        # is durable work the service must finish — _resume_flights already
+        # re-sent it, staggered) and the controller restarts unpressured.
+        self.admission.rebuild(
+            [
+                iid
+                for iid, runtime in self.runtimes.items()
+                if runtime.tree.status is WorkflowStatus.RUNNING
+            ],
+            self._now(),
+        )
         crash_point("exec.recover.replayed", self)
         self._arm_sweeper()
 
@@ -325,6 +352,23 @@ class ExecutionService(Service):
             self.node, self.repository_name, "get_script", script_name
         )
         script = _compile_cached(text)
+        # Admission decision BEFORE anything is persisted: a rejected arrival
+        # leaves no trace but the typed refusal, so the client's cooperative
+        # backoff is the whole cost.  Shed verdicts, by contrast, persist the
+        # instance and journal a decisive ``overloaded`` outcome — the caller
+        # gets an instance id whose fate is queryable, never a silent drop.
+        criticality = criticality_of(script, root_task)
+        now = self._now()
+        verdict = self.admission.decide(criticality, now)
+        if verdict == "reject":
+            hint = self.admission.retry_after(now)
+            self.admission.on_reject(now, hint)
+            self.stats["overload_rejections"] += 1
+            raise Overloaded(
+                f"{self.name}: admission queue full "
+                f"({len(self.admission.queue)}/{self.overload.queue_capacity})",
+                retry_after=hint,
+            )
         if self.durable:
             counter = self.store.get_committed("instance-counter", 0) + 1
         else:
@@ -350,7 +394,15 @@ class ExecutionService(Service):
         crash_point("exec.instantiate.persisted", self)
         runtime = self._fresh_runtime(iid, script, meta)
         self.runtimes[iid] = runtime
-        self._dispatch_pending(runtime)
+        if verdict == "shed":
+            self._shed(runtime, criticality, f"pressure {self.admission.pressure}")
+        elif verdict == "queue":
+            self.admission.enqueue(iid, criticality, now)
+            # flights stay built-but-unsent until a window slot frees up;
+            # the sweeper skips unsent flights, so nothing retransmits early
+        else:
+            self.admission.on_start(iid, now)
+            self._dispatch_pending(runtime)
         return iid
 
     def status(self, iid: str) -> Dict[str, Any]:
@@ -470,6 +522,7 @@ class ExecutionService(Service):
             "stats": dict(self.stats),
             "workers": self.health.snapshot(now),
             "events": self.rlog.summary(),
+            "overload": self.admission.report(),
         }
 
     def export_instance(self, iid: str) -> Dict[str, Any]:
@@ -520,6 +573,10 @@ class ExecutionService(Service):
             runtime = self._replay_from(iid, meta, journal)
             runtime.volatile_journal = journal
         self.runtimes[iid] = runtime
+        if runtime.tree.status is WorkflowStatus.RUNNING:
+            # adopted work is already paid for: it bypasses the admission
+            # queue and takes a window slot directly
+            self.admission.on_start(iid, self._now())
         self._resume_flights(runtime)
         self._arm_deadlines(runtime)
         return iid
@@ -636,15 +693,66 @@ class ExecutionService(Service):
 
     def _dispatch_pending(self, runtime: _Runtime) -> None:
         self._drain(runtime)
-        for key, flight in list(runtime.in_flight.items()):
-            if not flight.sent:
-                self._send(runtime, key, flight)
+        if runtime.iid not in self.admission.queue:
+            # an instance still waiting in the admission queue keeps its
+            # flights built-but-unsent; promotion dispatches them
+            for key, flight in list(runtime.in_flight.items()):
+                if not flight.sent:
+                    self._send(runtime, key, flight)
         self._arm_deadlines(runtime)
         if runtime.tree.status is not WorkflowStatus.RUNNING:
             # terminal barrier: the deciding entry must be durable before the
             # terminal state can be observed between events (see the
             # durability oracle) — flush inside the same event that applied it
             self.flush_journal()
+            # the terminal instance's window slot frees up: promote queued work
+            self.admission.forget(runtime.iid)  # terminal while still queued
+            self.admission.release(runtime.iid, self._now())
+            self._promote_ready()
+
+    def _shed(self, runtime: _Runtime, criticality: str, reason: str) -> None:
+        """Decisive ``overloaded`` outcome for a not-yet-started instance.
+
+        Journaled before it takes effect like every other outcome, so replay
+        and recovery reproduce the shed exactly and the no-silent-drop oracle
+        can hold the service to it.  Only instances that have not dispatched
+        anything are ever shed — started work (flights, 2PC participation,
+        journaled progress) is never thrown away."""
+        self.admission.on_shed(runtime.iid, criticality, self._now(), reason)
+        self.stats["shed"] += 1
+        entry = {
+            "type": "overloaded",
+            "reason": reason,
+            "criticality": criticality,
+        }
+        with self._journal_guard():
+            self._journal(runtime, entry)
+            self._apply_entry(runtime, entry)
+            self.flush_journal()  # terminal outcome: durable before observable
+
+    def _promote_ready(self) -> None:
+        """Dispatch queued instances into freed window slots.
+
+        Iterative with a re-entrancy guard: a promoted instance can complete
+        synchronously (timer-free scripts on a quiet network), which frees
+        its slot and would otherwise recurse back in here; the outer loop
+        picks the freed slot up instead."""
+        if self._promoting:
+            return
+        self._promoting = True
+        try:
+            while True:
+                promoted = self.admission.promote_ready(self._now())
+                if not promoted:
+                    return
+                for iid, _criticality, _sojourn in promoted:
+                    runtime = self.runtimes.get(iid)
+                    if runtime is None:
+                        self.admission.release(iid, self._now())
+                        continue
+                    self._dispatch_pending(runtime)
+        finally:
+            self._promoting = False
 
     def _arm_deadlines(self, runtime: _Runtime) -> None:
         """Fig. 3's abort-from-WAIT by timer: a task whose ``deadline``
@@ -919,12 +1027,25 @@ class ExecutionService(Service):
                 return
             now = self._now()
             cfg = self.resilience
+            # Overload controller tick: adjust the window from the sojourn
+            # signal, shed queued low-criticality work once pressure says so,
+            # and promote into any headroom the adjustment opened up.
+            self.admission.control(now)
+            for victim_iid, victim_class in self.admission.evict_low(now):
+                victim = self.runtimes.get(victim_iid)
+                if victim is not None:
+                    self._shed(
+                        victim, victim_class,
+                        f"evicted from queue at pressure {self.admission.pressure}",
+                    )
+            self._promote_ready()
             for runtime in list(self.runtimes.values()):
                 for key, flight in list(runtime.in_flight.items()):
                     if key not in runtime.in_flight or not flight.sent:
                         continue
                     if (
                         cfg.enabled
+                        and self.admission.allow_hedge()
                         and not flight.hedged
                         and flight.hedge_at is not None
                         and flight.hedge_at <= now < flight.next_attempt_at
@@ -988,7 +1109,10 @@ class ExecutionService(Service):
             "error": f"dispatch abandoned after {flight.redispatches} redispatches",
         }
         self._journal(runtime, entry)
-        runtime.in_flight.pop(key, None)
+        # through _resolve_flight (not a bare pop): any workers still carrying
+        # this flight's wave are parked in _pending_acks, so their late
+        # replies keep feeding the health registry instead of vanishing
+        self._resolve_flight(runtime, key)
         self._apply_entry(runtime, entry)
         self._dispatch_pending(runtime)
 
@@ -1127,6 +1251,17 @@ class ExecutionService(Service):
                     (runtime.iid, flight_key[0], flight_key[1], worker)
                 ] = sent_at
             flight.sent_to.clear()
+            # Hard cap behind the sweeper's age-based reaping: under sustained
+            # overload hedge losers can accumulate faster than the horizon
+            # drains them, and an unbounded table is exactly the kind of
+            # hidden queue this layer exists to remove.  Oldest entries go
+            # first — their workers already took the latency hit.
+            if len(self._pending_acks) > _PENDING_ACK_CAP:
+                overflow = sorted(
+                    self._pending_acks.items(), key=lambda kv: (kv[1], kv[0])
+                )[: len(self._pending_acks) - _PENDING_ACK_CAP]
+                for ack_key, _sent_at in overflow:
+                    del self._pending_acks[ack_key]
         return flight
 
     # -- journal ----------------------------------------------------------------------------------
@@ -1222,6 +1357,8 @@ class ExecutionService(Service):
             return ("result", entry["path"], entry["exec"])
         if entry["type"] == "deadline":
             return ("deadline", entry["path"], entry["exec"])
+        if entry["type"] == "overloaded":
+            return ("overloaded",)  # at most one decisive shed per instance
         return (entry["type"], id(entry))
 
     def _apply_mark(self, runtime: _Runtime, entry: Dict[str, Any]) -> None:
@@ -1253,6 +1390,14 @@ class ExecutionService(Service):
             return
         if kind == "force_abort":
             runtime.tree.force_abort(entry["path"], entry.get("name"))
+            return
+        if kind == "overloaded":
+            # decisive shed outcome: the whole instance fails terminally
+            # before any of its tasks dispatched.  Clearing the flight table
+            # keeps replay identical to the live path, where nothing was sent.
+            runtime.in_flight.clear()
+            runtime.external.clear()
+            runtime.tree.fail(f"overloaded: {entry['reason']}")
             return
         try:
             node = runtime.tree.node_at(entry["path"])

@@ -17,8 +17,9 @@ from ..engine.registry import ImplementationRegistry
 from ..net.clock import EventClock
 from ..net.network import LatencyModel, Network
 from ..net.node import Node
-from ..orb.broker import CommFailure, ObjectBroker
+from ..orb.broker import CommFailure, ObjectBroker, Overloaded
 from ..orb.proxy import Proxy
+from ..overload import OverloadConfig
 from ..replication import (
     LEASE_INTERFACE,
     LeaseService,
@@ -30,7 +31,7 @@ from ..resilience import ResilienceConfig
 from ..txn.store import ObjectStore
 from .execution import EXECUTION_INTERFACE, ExecutionService
 from .repository import REPOSITORY_INTERFACE, RepositoryService
-from .worker import WORKER_INTERFACE, TaskWorker
+from .worker import WORKER_INTERFACE, ServiceProfile, TaskWorker
 
 TERMINAL = (
     WorkflowStatus.COMPLETED.value,
@@ -62,6 +63,9 @@ class WorkflowSystem:
         replicas: int = 0,
         lease_duration: float = 60.0,
         repl_interval: float = 5.0,
+        overload: Optional[OverloadConfig] = None,
+        worker_service_time: float = 0.0,
+        worker_lanes: int = 1,
     ) -> None:
         """``resilience`` tunes the adaptive dispatch layer (backoff, circuit
         breakers, health routing, hedging).  Defaults to
@@ -84,7 +88,15 @@ class WorkflowSystem:
         The first replica wins the bootstrap lease and registers itself under
         the public ``"execution"`` name; the rest tail its WAL as warm
         standbys and take over (with a fresh fencing epoch) when the lease
-        lapses.  ``replicas=0`` is the legacy unreplicated layout, unchanged."""
+        lapses.  ``replicas=0`` is the legacy unreplicated layout, unchanged.
+
+        ``overload`` tunes the admission layer (docs/PROTOCOLS.md §13):
+        bounded admission queue, adaptive concurrency window and priority
+        shedding on the execution service.  ``worker_service_time`` /
+        ``worker_lanes`` give every worker a finite-capacity profile (each
+        task occupies one of ``worker_lanes`` lanes for
+        ``worker_service_time`` virtual seconds) — 0 keeps workers
+        instantaneous, the legacy behaviour."""
         self.clock = EventClock()
         self.network = Network(
             self.clock,
@@ -108,9 +120,14 @@ class WorkflowSystem:
         self.worker_nodes: List[Node] = []
         self.workers: List[TaskWorker] = []
         worker_names: List[str] = []
+        profile = (
+            ServiceProfile(worker_service_time, worker_lanes)
+            if worker_service_time > 0
+            else None
+        )
         for index in range(workers):
             node = Node(f"worker-node-{index + 1}", self.clock, self.network)
-            worker = TaskWorker(f"worker-{index + 1}", self.registry)
+            worker = TaskWorker(f"worker-{index + 1}", self.registry, profile=profile)
             node.install(worker)
             name = f"worker-{index + 1}"
             self.broker.register(name, WORKER_INTERFACE, worker, node)
@@ -159,6 +176,7 @@ class WorkflowSystem:
                     resilience=resilience,
                     journal_batch=journal_batch,
                     journal_window=journal_window,
+                    overload=overload,
                 )
                 self.replica_nodes.append(node)
                 self.execution_replicas.append(service)
@@ -190,6 +208,7 @@ class WorkflowSystem:
                 resilience=resilience,
                 journal_batch=journal_batch,
                 journal_window=journal_window,
+                overload=overload,
             )
             self.execution_node.install(self.execution)
             self.broker.register(
@@ -242,6 +261,11 @@ class WorkflowSystem:
                 return self.execution_proxy().instantiate(
                     script_name, root_task, input_set, dict(inputs or {})
                 )
+            except Overloaded:
+                # A backpressure refusal is not a failover: surface it to the
+                # caller's cooperative backoff instead of hammering the
+                # primary 40 more times (Overloaded subclasses CommFailure).
+                raise
             except CommFailure as exc:
                 last = exc
                 self.clock.advance(self.execution.repl_interval)

@@ -22,7 +22,7 @@ from ..core.schema import Script, TaskClass
 from ..engine.context import PendingExternal, TaskContext, TaskResult
 from ..engine.registry import ImplementationRegistry, ScriptBinding
 from ..net.node import Message, Service
-from ..orb.broker import Interface
+from ..orb.broker import DelayedResult, Interface
 from ..sim.crashpoints import crash_point
 from .serialization import (
     refs_from_plain,
@@ -32,6 +32,28 @@ from .serialization import (
 )
 
 WORKER_INTERFACE = Interface("TaskWorker", ("execute",))
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """Finite-capacity model for a worker (docs/PROTOCOLS.md §13).
+
+    ``lanes`` parallel execution lanes, each occupied for ``service_time``
+    virtual seconds per task.  A request arriving while every lane is busy
+    waits for the earliest lane — the worker's *backlog*, the physical queue
+    whose growth the execution service's admission controller exists to
+    bound.  ``service_time=0`` (the default) keeps the worker instantaneous,
+    which is what every pre-§13 test assumes.
+    """
+
+    service_time: float = 0.0
+    lanes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.service_time < 0:
+            raise ValueError("service_time must be >= 0")
+        if self.lanes < 1:
+            raise ValueError("lanes must be >= 1")
 
 
 @dataclass
@@ -69,9 +91,17 @@ class TaskWorker(Service):
     executed in-process on the worker with a local engine.
     """
 
-    def __init__(self, name: str, registry: ImplementationRegistry) -> None:
+    def __init__(
+        self,
+        name: str,
+        registry: ImplementationRegistry,
+        profile: Optional[ServiceProfile] = None,
+    ) -> None:
         super().__init__(name)
         self.registry = registry
+        self.profile = profile or ServiceProfile()
+        # Virtual time at which each execution lane next frees up.
+        self._lane_busy: List[float] = [0.0] * self.profile.lanes
         self.executed: List[Tuple[str, str, int]] = []  # (instance, path, index)
         # Highest fencing epoch seen on any dispatch.  Requests from older
         # epochs are refused without executing: a deposed primary cannot make
@@ -81,6 +111,22 @@ class TaskWorker(Service):
         # still holds (fencing here is a liveness/efficiency aid; safety
         # rests on the lease and the journal, see docs/PROTOCOLS.md §12).
         self.fence_epoch = 0
+
+    def on_recover(self) -> None:
+        # The crash destroyed the backlog: queued-but-unfinished work died
+        # with the process, so the lanes come back empty.
+        self._lane_busy = [0.0] * self.profile.lanes
+
+    def _occupy_lane(self, reply: Dict[str, Any]) -> Any:
+        """Charge this request to the earliest-free lane and delay its reply
+        until the lane would actually have finished it."""
+        if self.profile.service_time <= 0 or self.node is None:
+            return reply
+        now = self.node.clock.now
+        lane = min(range(len(self._lane_busy)), key=self._lane_busy.__getitem__)
+        finish = max(now, self._lane_busy[lane]) + self.profile.service_time
+        self._lane_busy[lane] = finish
+        return DelayedResult(reply, finish - now)
 
     def execute(self, request_data: Dict[str, Any]) -> Dict[str, Any]:
         """Run one task; returns a plain-data reply.
@@ -156,26 +202,30 @@ class TaskWorker(Service):
             if isinstance(result, PendingExternal):
                 # interactive / long-running task: parked at the execution
                 # service until an external completion arrives
-                return {**identity, "ok": True, "external": True, "marks": marks,
-                        "error": None}
+                return self._occupy_lane(
+                    {**identity, "ok": True, "external": True, "marks": marks,
+                     "error": None}
+                )
             if not isinstance(result, TaskResult):
                 raise TypeError(
                     f"implementation returned {type(result).__name__}, "
                     f"expected TaskResult"
                 )
         except Exception as exc:
-            return {**identity, "ok": False, "error": repr(exc), "marks": marks}
+            return self._occupy_lane(
+                {**identity, "ok": False, "error": repr(exc), "marks": marks}
+            )
         # Crash here = the work happened but the reply never left: the
         # at-least-once redispatch will run the task again on some worker,
         # and only the journal's exactly-once application protects the tree.
         crash_point("worker.execute.post", self)
-        return {
+        return self._occupy_lane({
             **identity,
             "ok": True,
             "result": result_to_plain(result),
             "marks": marks,
             "error": None,
-        }
+        })
 
     def _run_subworkflow(self, binding: ScriptBinding, context: TaskContext) -> TaskResult:
         from ..engine.local import LocalEngine  # local import: avoids a cycle

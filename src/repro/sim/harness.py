@@ -4,8 +4,9 @@ A :class:`SimHarness` runs one workload on a fresh
 :class:`~repro.services.system.WorkflowSystem` while a
 :class:`~repro.sim.nemesis.NemesisSchedule` injects faults underneath it —
 crash-at-protocol-step faults through the crash-point injector, time-based
-faults (crashes, partitions, loss/dup/reorder bursts) through the existing
-:class:`~repro.net.failures.FaultPlan` — and the invariant oracles of
+faults (crashes, partitions, loss/dup/reorder bursts, load spikes) through
+the existing :class:`~repro.net.failures.FaultPlan` and the event clock —
+and the invariant oracles of
 :mod:`repro.sim.oracles` watch the whole run.  The result is a
 :class:`SimReport`: final instance outcomes, every violation, every crash,
 network counters, and a fingerprint over the canonical JSON form so two runs
@@ -51,7 +52,8 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..net.failures import FaultPlan
 from ..net.node import Node
-from ..orb.broker import CommFailure
+from ..orb.broker import CommFailure, Overloaded
+from ..overload import OverloadConfig
 from ..services.system import WorkflowSystem
 from ..txn import wal as wal_mod
 from ..txn.manager import TransactionManager
@@ -71,6 +73,7 @@ from .nemesis import (
     CrashAtTime,
     DupBurst,
     KillPrimary,
+    LoadSpike,
     LossBurst,
     NemesisSchedule,
     Partition,
@@ -130,6 +133,7 @@ class SimReport:
     end_time: float = 0.0
     replicas: int = 0
     replication: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    spike: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -151,6 +155,7 @@ class SimReport:
             "end_time": self.end_time,
             "replicas": self.replicas,
             "replication": self.replication,
+            "spike": self.spike,
         }
 
     def to_json(self) -> str:
@@ -192,6 +197,9 @@ class SimHarness:
         replicas: int = 0,
         lease_duration: float = 60.0,
         repl_interval: float = 5.0,
+        service_time: float = 0.0,
+        worker_lanes: int = 1,
+        overload: Optional[OverloadConfig] = None,
     ) -> None:
         if workload not in WORKLOADS:
             raise ValueError(
@@ -212,6 +220,9 @@ class SimHarness:
         self.replicas = replicas
         self.lease_duration = lease_duration
         self.repl_interval = repl_interval
+        self.service_time = service_time
+        self.worker_lanes = worker_lanes
+        self.overload = overload
         # run state (populated by run())
         self._probe_manager: Optional[TransactionManager] = None
         self._probe_stores: List[ObjectStore] = []
@@ -224,6 +235,8 @@ class SimHarness:
         self._violations: List[oracles.OracleViolation] = []
         self._violation_keys: Set[Tuple[str, str, str]] = set()
         self._terminal_seen: Dict[str, Tuple[str, Optional[str]]] = {}
+        self._spike_submitted: Dict[str, str] = {}
+        self._spike_refused: int = 0
 
     # -- setup ----------------------------------------------------------------
 
@@ -232,7 +245,9 @@ class SimHarness:
         system = WorkflowSystem(
             workers=self.workers, seed=self.seed, loss_rate=self.loss_rate,
             replicas=self.replicas, lease_duration=self.lease_duration,
-            repl_interval=self.repl_interval,
+            repl_interval=self.repl_interval, overload=self.overload,
+            worker_service_time=self.service_time,
+            worker_lanes=self.worker_lanes,
         )
         spec.binder(system.registry)
         self._system = system
@@ -333,6 +348,8 @@ class SimHarness:
                     self._resurrect_replicas,
                     label="nemesis:resurrect",
                 )
+            elif isinstance(fault, LoadSpike):
+                self._arm_load_spike(fault, spec)
         plan.arm()
         if self.compact_every is not None:
             self._arm_compactor()
@@ -393,6 +410,37 @@ class SimHarness:
             scratch.abort(reason="probe abort")
 
         system.clock.call_after(interval, tick, label="harness:probe")
+
+    def _arm_load_spike(self, fault: LoadSpike, spec: Workload) -> None:
+        """Schedule the spike's submissions on the event clock.
+
+        Each submission rides the ORB proxy directly — ``system.instantiate``
+        drives the clock, which is illegal inside a clock callback — so the
+        admission layer sees the spike exactly as client traffic.  The
+        nemesis is an impatient client: an ``Overloaded`` refusal is counted
+        and never retried; any other ``CommFailure`` means an outage ate the
+        request before the service accepted it, so nothing is owed."""
+        system = self._system
+        proxy = system.execution_proxy()
+        count = max(1, int(fault.rate * fault.duration))
+        step = fault.duration / count
+        for index in range(count):
+            at = fault.at + index * step
+
+            def fire(t: float = at, i: int = index) -> None:
+                try:
+                    iid = proxy.instantiate(
+                        spec.script_name, spec.root_task, "main",
+                        dict(spec.inputs(1_000 + i)),
+                    )
+                except Overloaded:
+                    self._spike_refused += 1
+                except CommFailure:
+                    pass
+                else:
+                    self._spike_submitted[iid] = f"spike@{t:g}"
+
+            system.clock.call_at(at, fire, label=f"nemesis:spike:{index}")
 
     # -- crash machinery --------------------------------------------------------
 
@@ -647,11 +695,20 @@ class SimHarness:
     def _drive(self, iids: List[str]) -> None:
         system = self._system
         deadline = system.clock.now + self.max_time
+        # a load spike only exerts pressure if the run is still alive when
+        # it fires: never declare quiescence before its window has passed
+        spike_until = max(
+            (f.at + f.duration for f in self.schedule.faults
+             if isinstance(f, LoadSpike)),
+            default=0.0,
+        )
         terminal_since: Optional[float] = None
         while system.clock.now < deadline:
             self._advance(self.check_every)
             self._check("continuous")
-            if self._all_terminal(iids):
+            if system.clock.now < spike_until:
+                continue
+            if self._all_terminal(iids + sorted(self._spike_submitted)):
                 if not self._injector.pending():
                     break
                 # armed faults still waiting: give late protocol activity
@@ -666,7 +723,9 @@ class SimHarness:
         if healable:
             guard = system.clock.now + self.quiesce_grace
             while system.clock.now < guard:
-                if self._all_alive() and self._all_terminal(iids):
+                if self._all_alive() and self._all_terminal(
+                    iids + sorted(self._spike_submitted)
+                ):
                     break
                 self._advance(self.check_every)
                 self._check("continuous")
@@ -675,6 +734,10 @@ class SimHarness:
             primary = system.primary_execution()
             if primary is not None:
                 self._record(oracles.check_liveness(primary, iids))
+                if self._spike_submitted:
+                    self._record(oracles.check_no_silent_drop(
+                        primary, self._spike_submitted
+                    ))
             else:
                 self._record([oracles.OracleViolation(
                     "liveness", "primary",
@@ -740,5 +803,9 @@ class SimHarness:
                     "resyncs": svc.repl_stats["resyncs"],
                 }
                 for node, svc in zip(system.replica_nodes, system.execution_replicas)
+            },
+            spike={
+                "accepted": len(self._spike_submitted),
+                "refused": self._spike_refused,
             },
         )

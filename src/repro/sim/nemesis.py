@@ -17,6 +17,8 @@ Fault kinds::
     loss_burst       raise the datagram loss rate for a while
     dup_burst        duplicate datagrams for a while
     reorder_burst    delay ~half of all datagrams by up to a window
+    load_spike       submit extra workflow instances at a sustained rate
+                     (drives the overload/admission layer, §13)
 
 Replication faults (only meaningful with ``replicas > 0``; the harness
 resolves "the primary" against the live system at fire time, because which
@@ -148,6 +150,31 @@ class ReorderBurst:
 
 
 @dataclass(frozen=True)
+class LoadSpike:
+    """Sustained arrival burst aimed straight at the execution service.
+
+    During ``[at, at + duration)`` the harness submits ``rate`` extra
+    instances per virtual second of the run's own workload script —
+    admission-bypassing nothing: each submission goes through the ORB like
+    any client's, so the overload layer sees the spike exactly as it would
+    see a traffic storm.  ``Overloaded`` refusals are counted, not retried
+    (the nemesis is an impatient client).  Spike instances are tracked by
+    the no-silent-drop oracle: every admitted one must reach a decisive
+    terminal state."""
+
+    at: float
+    duration: float
+    rate: float                  # extra instances per virtual second
+
+    kind = "load_spike"
+
+    def describe(self) -> str:
+        return (
+            f"load spike {self.rate}/s during [{self.at}, {self.at + self.duration})"
+        )
+
+
+@dataclass(frozen=True)
 class KillPrimary:
     """Crash whichever replica is the *current* primary at time ``at``.
 
@@ -202,7 +229,7 @@ class ResurrectStalePrimary:
 _FAULT_TYPES: Dict[str, Type] = {
     cls.kind: cls
     for cls in (CrashAtPoint, CrashAtTime, Partition, LossBurst, DupBurst,
-                ReorderBurst, KillPrimary, PartitionPrimary,
+                ReorderBurst, LoadSpike, KillPrimary, PartitionPrimary,
                 ResurrectStalePrimary)
 }
 
@@ -257,7 +284,7 @@ class NemesisSchedule:
         (unhealed partitions count as never quiet)."""
         quiet = 0.0
         for fault in self.faults:
-            if isinstance(fault, (LossBurst, DupBurst, ReorderBurst)):
+            if isinstance(fault, (LossBurst, DupBurst, ReorderBurst, LoadSpike)):
                 quiet = max(quiet, fault.at + fault.duration)
             elif isinstance(fault, Partition):
                 if fault.heal_after is None:

@@ -37,6 +37,12 @@ Oracles and the guarantees they police:
     must reach a terminal status within the quiescence grace period.
     Stuck-forever is a real bug (lost wakeup, un-redispatched flight), not
     an acceptable outcome of a finite fault schedule.
+``no-silent-drop``
+    Every instance the execution service *accepted* under load (returned an
+    id for, instead of refusing with ``Overloaded``) must end in a decisive
+    journaled terminal state — completed, aborted, failed, or a journaled
+    ``overloaded`` shed.  Turning work away loudly is legal; losing it
+    quietly is the overload bug this layer exists to prevent (§13).
 
 Replication oracles (``replicas > 0`` only; docs/PROTOCOLS.md §12):
 
@@ -361,6 +367,59 @@ def check_single_primary(
             f"unexpired leases: {detail}", phase,
         )
     ]
+
+
+def check_no_silent_drop(
+    service: Any, submitted: Mapping[str, str], phase: str = "quiescence"
+) -> List[OracleViolation]:
+    """Overload honesty (docs/PROTOCOLS.md §13): every instance the service
+    *accepted* — returned an id for, instead of raising ``Overloaded`` — must
+    end in a decisive, journaled terminal state.  Shedding is allowed;
+    vanishing is not.  A shed instance must both be terminal in memory and
+    carry its ``overloaded`` entry in the durable journal, so a crash cannot
+    resurrect it into limbo.
+
+    ``submitted`` maps instance id -> a short provenance label (e.g.
+    ``"spike@120.0"``) used in violation messages.
+    """
+    violations: List[OracleViolation] = []
+    for iid, origin in sorted(submitted.items()):
+        runtime = service.runtimes.get(iid)
+        if runtime is None:
+            violations.append(
+                OracleViolation(
+                    "no-silent-drop", iid,
+                    f"accepted instance ({origin}) is gone from the execution "
+                    f"service without a decisive outcome", phase,
+                )
+            )
+            continue
+        status = runtime.tree.status.value
+        if status not in TERMINAL_STATUSES:
+            violations.append(
+                OracleViolation(
+                    "no-silent-drop", iid,
+                    f"accepted instance ({origin}) never reached a decisive "
+                    f"state: status {status!r}", phase,
+                )
+            )
+            continue
+        error = runtime.tree.error or ""
+        if status == "failed" and error.startswith("overloaded") and getattr(
+            service, "durable", False
+        ):
+            meta, journal = _journal_entries(service.store, iid)
+            entries = [e for e in journal if e and e.get("type") == "overloaded"]
+            if meta is None or not entries:
+                violations.append(
+                    OracleViolation(
+                        "no-silent-drop", iid,
+                        f"instance ({origin}) was shed in memory but its "
+                        f"journal records no 'overloaded' entry — the shed "
+                        f"would not survive a crash", phase,
+                    )
+                )
+    return violations
 
 
 def check_liveness(

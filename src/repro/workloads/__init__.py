@@ -5,15 +5,31 @@ the scalability and baseline benchmarks.
 
 from . import paper_order, paper_service_impact, paper_trip
 from .generators import Workload, chain, diamond, fan, random_dag, script_text
+from .traffic import (
+    Arrival,
+    SLOReport,
+    TrafficSpec,
+    arrival_schedule,
+    cohort_script,
+    run_traffic,
+    traffic_registry,
+)
 
 __all__ = [
+    "Arrival",
+    "SLOReport",
+    "TrafficSpec",
     "Workload",
+    "arrival_schedule",
     "chain",
+    "cohort_script",
     "diamond",
     "fan",
     "paper_order",
     "paper_service_impact",
     "paper_trip",
     "random_dag",
+    "run_traffic",
     "script_text",
+    "traffic_registry",
 ]
